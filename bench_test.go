@@ -1,0 +1,155 @@
+package sudc
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (go test -bench=. -benchmem). Each benchmark runs one exhibit
+// end to end — physical design closure, costing, and table assembly — and
+// prints the resulting rows once, so a bench run doubles as a full
+// reproduction log. Paper-vs-measured values are recorded in
+// EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sudc/internal/experiments"
+)
+
+// printOnce prints each exhibit a single time per bench run, not once per
+// benchmark iteration.
+var printOnce sync.Map
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tbl experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl, err = e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, done := printOnce.LoadOrStore(id, true); !done {
+		b.StopTimer()
+		fmt.Printf("\n%s\n", tbl)
+		b.StartTimer()
+	}
+}
+
+func BenchmarkTableI(b *testing.B)   { benchExperiment(b, "Table I") }
+func BenchmarkTableII(b *testing.B)  { benchExperiment(b, "Table II") }
+func BenchmarkTableIII(b *testing.B) { benchExperiment(b, "Table III") }
+func BenchmarkFig3(b *testing.B)     { benchExperiment(b, "Figure 3") }
+func BenchmarkFig4(b *testing.B)     { benchExperiment(b, "Figure 4") }
+func BenchmarkFig5(b *testing.B)     { benchExperiment(b, "Figure 5") }
+func BenchmarkFig6(b *testing.B)     { benchExperiment(b, "Figure 6") }
+func BenchmarkFig7(b *testing.B)     { benchExperiment(b, "Figure 7") }
+func BenchmarkFig8(b *testing.B)     { benchExperiment(b, "Figure 8") }
+func BenchmarkFig9(b *testing.B)     { benchExperiment(b, "Figure 9") }
+func BenchmarkFig10(b *testing.B)    { benchExperiment(b, "Figure 10") }
+func BenchmarkFig11(b *testing.B)    { benchExperiment(b, "Figure 11") }
+func BenchmarkFig12(b *testing.B)    { benchExperiment(b, "Figure 12") }
+func BenchmarkFig15(b *testing.B)    { benchExperiment(b, "Figure 15") }
+func BenchmarkFig16(b *testing.B)    { benchExperiment(b, "Figure 16") }
+func BenchmarkFig17(b *testing.B)    { benchExperiment(b, "Figure 17") }
+func BenchmarkFig19(b *testing.B)    { benchExperiment(b, "Figure 19") }
+func BenchmarkFig21(b *testing.B)    { benchExperiment(b, "Figure 21") }
+func BenchmarkFig22(b *testing.B)    { benchExperiment(b, "Figure 22") }
+func BenchmarkFig23(b *testing.B)    { benchExperiment(b, "Figure 23") }
+func BenchmarkFig24(b *testing.B)    { benchExperiment(b, "Figure 24") }
+func BenchmarkFig25(b *testing.B)    { benchExperiment(b, "Figure 25") }
+func BenchmarkFig26(b *testing.B)    { benchExperiment(b, "Figure 26") }
+func BenchmarkFig27(b *testing.B)    { benchExperiment(b, "Figure 27") }
+func BenchmarkFig28(b *testing.B)    { benchExperiment(b, "Figure 28") }
+
+// BenchmarkDesignClosure measures the core fixed-point design iteration
+// alone — the hot path under every TCO query.
+func BenchmarkDesignClosure(b *testing.B) {
+	cfg := Config(4 * Kilowatt)
+	for i := 0; i < b.N; i++ {
+		if _, err := Design(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCO measures a full design + costing round trip.
+func BenchmarkTCO(b *testing.B) {
+	cfg := Config(4 * Kilowatt)
+	for i := 0; i < b.N; i++ {
+		if _, err := TCO(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benchmarks: the design-choice studies behind DESIGN.md.
+func benchAblation(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.AblationByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tbl experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl, err = e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, done := printOnce.LoadOrStore(id, true); !done {
+		b.StopTimer()
+		fmt.Printf("\n%s\n", tbl)
+		b.StartTimer()
+	}
+}
+
+func BenchmarkAblationThermal(b *testing.B)     { benchAblation(b, "Ablation A1") }
+func BenchmarkAblationPowerSource(b *testing.B) { benchAblation(b, "Ablation A2") }
+func BenchmarkAblationThruster(b *testing.B)    { benchAblation(b, "Ablation A3") }
+func BenchmarkAblationSolarCell(b *testing.B)   { benchAblation(b, "Ablation A4") }
+func BenchmarkAblationISLLaw(b *testing.B)      { benchAblation(b, "Ablation A5") }
+func BenchmarkAblationDecode(b *testing.B)      { benchAblation(b, "Ablation A6") }
+func BenchmarkAblationBatchSize(b *testing.B)   { benchAblation(b, "Ablation A7") }
+
+// BenchmarkDSE measures the full 7168-design exploration.
+func BenchmarkDSE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DSEResult(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extension benchmarks: studies beyond the paper's evaluation.
+func benchExtension(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ExtensionByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tbl experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl, err = e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, done := printOnce.LoadOrStore(id, true); !done {
+		b.StopTimer()
+		fmt.Printf("\n%s\n", tbl)
+		b.StartTimer()
+	}
+}
+
+func BenchmarkExtFleetPlan(b *testing.B)      { benchExtension(b, "Extension E1") }
+func BenchmarkExtMaintenance(b *testing.B)    { benchExtension(b, "Extension E2") }
+func BenchmarkExtGEO(b *testing.B)            { benchExtension(b, "Extension E3") }
+func BenchmarkExtPipelineTiming(b *testing.B) { benchExtension(b, "Extension E4") }
+
+func BenchmarkExtBentPipe(b *testing.B) { benchExtension(b, "Extension E5") }
+
+func BenchmarkExtTradeStudy(b *testing.B) { benchExtension(b, "Extension E6") }

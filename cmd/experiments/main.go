@@ -1,0 +1,79 @@
+// Command experiments regenerates the paper's evaluation: every table and
+// figure, printed as text tables.
+//
+// Usage:
+//
+//	experiments             # run all paper exhibits
+//	experiments -list       # list exhibit IDs
+//	experiments -only "Figure 5"
+//	experiments -ablations  # run the design-choice ablation studies
+//	experiments -extensions # run the beyond-the-paper extension studies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sudc/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(out)
+	list := fs.Bool("list", false, "list exhibit IDs and exit")
+	only := fs.String("only", "", "run a single exhibit by ID (e.g. \"Figure 5\")")
+	ablations := fs.Bool("ablations", false, "run the design-choice ablation studies instead")
+	extensions := fs.Bool("extensions", false, "run the beyond-the-paper extension studies instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	everything := append(append(experiments.All(), experiments.Ablations()...),
+		experiments.Extensions()...)
+
+	if *list {
+		for _, e := range everything {
+			fmt.Fprintf(out, "%-13s %s\n", e.ID, e.Name)
+		}
+		return nil
+	}
+
+	toRun := experiments.All()
+	switch {
+	case *ablations:
+		toRun = experiments.Ablations()
+	case *extensions:
+		toRun = experiments.Extensions()
+	}
+	if *only != "" {
+		toRun = nil
+		for _, e := range everything {
+			if strings.EqualFold(e.ID, *only) {
+				toRun = []experiments.Experiment{e}
+				break
+			}
+		}
+		if toRun == nil {
+			return fmt.Errorf("unknown exhibit %q", *only)
+		}
+	}
+
+	for _, e := range toRun {
+		tbl, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintln(out, tbl)
+	}
+	return nil
+}

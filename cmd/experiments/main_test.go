@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestList(t *testing.T) {
+	out := runCmd(t, "-list")
+	for _, want := range []string{"Table III", "Figure 5", "Ablation A1", "Extension E5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %q", want)
+		}
+	}
+	// -list must not actually run anything (fast, no tables).
+	if strings.Contains(out, "---") {
+		t.Error("-list should not render tables")
+	}
+}
+
+func TestOnly(t *testing.T) {
+	out := runCmd(t, "-only", "Figure 12")
+	if !strings.Contains(out, "Figure 12") || !strings.Contains(out, "45 °C") {
+		t.Errorf("Figure 12 output malformed:\n%s", out)
+	}
+	if strings.Contains(out, "Figure 5 —") {
+		t.Error("-only must run a single exhibit")
+	}
+	// -only reaches ablations and extensions too.
+	out = runCmd(t, "-only", "Ablation A3")
+	if !strings.Contains(out, "gridded ion") {
+		t.Error("-only must reach ablations")
+	}
+}
+
+func TestOnlyUnknown(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-only", "Figure 99"}, &b); err == nil {
+		t.Error("unknown exhibit must error")
+	}
+}
+
+func TestAblationsFlag(t *testing.T) {
+	out := runCmd(t, "-ablations")
+	if !strings.Contains(out, "Ablation A1") || !strings.Contains(out, "Ablation A7") {
+		t.Error("-ablations must run all ablation studies")
+	}
+	if strings.Contains(out, "Figure 5 —") {
+		t.Error("-ablations must not run paper exhibits")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-bogus"}, &b); err == nil {
+		t.Error("unknown flag must error")
+	}
+}

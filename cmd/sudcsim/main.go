@@ -1,0 +1,91 @@
+// Command sudcsim runs the discrete-event simulation of the paper's
+// Figure 14 pipeline: EO satellites → FSO inter-satellite link → batcher →
+// GPU workers → insight analyzer, and reports whether the SµDC keeps up.
+//
+// Usage:
+//
+//	sudcsim [flags]
+//
+//	-app name        Table III application (default "Flood Detection")
+//	-satellites n    EO constellation size (default 64)
+//	-power kW        SµDC compute power (default 4)
+//	-isl gbps        ISL capacity (default 30)
+//	-batch n         batch size (default 8)
+//	-filter f        edge filtering rate 0..1 (default 0)
+//	-hours h         simulated duration (default 2)
+//	-seed n          RNG seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sudc/internal/netsim"
+	"sudc/internal/units"
+	"sudc/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sudcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sudcsim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	appName := fs.String("app", "Flood Detection", "Table III application")
+	satellites := fs.Int("satellites", 64, "EO constellation size")
+	powerKW := fs.Float64("power", 4, "SµDC compute power in kW")
+	islGbps := fs.Float64("isl", 30, "ISL capacity in Gbit/s")
+	batch := fs.Int("batch", 8, "batch size")
+	filter := fs.Float64("filter", 0, "edge filtering rate [0,1)")
+	hours := fs.Float64("hours", 2, "simulated duration in hours")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	app, err := workload.ByName(*appName)
+	if err != nil {
+		return err
+	}
+	cfg := netsim.DefaultConfig(app)
+	cfg.Constellation.Satellites = *satellites
+	cfg.Constellation.FilterRate = *filter
+	cfg.Workers = int(*powerKW * 1000 / float64(app.GPUPower))
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	cfg.ISLRate = units.GbpsOf(*islGbps)
+	cfg.BatchSize = *batch
+	cfg.Duration = time.Duration(*hours * float64(time.Hour))
+	cfg.Seed = *seed
+
+	s, err := netsim.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "%s: %d satellites → %.1f kW SµDC (%d × %v workers), %v ISL, batch %d\n\n",
+		app.Name, *satellites, *powerKW, cfg.Workers, app.GPUPower, cfg.ISLRate, *batch)
+	fmt.Fprintf(out, "  frames generated     %d\n", s.FramesGenerated)
+	fmt.Fprintf(out, "  frames processed     %d\n", s.FramesProcessed)
+	fmt.Fprintf(out, "  insights downlinked  %d\n", s.InsightsDownlinked)
+	fmt.Fprintf(out, "  backlog              %d\n", s.Backlog)
+	fmt.Fprintf(out, "  mean latency         %v (p95 %v)\n",
+		s.MeanLatency.Truncate(time.Millisecond), s.P95Latency.Truncate(time.Millisecond))
+	fmt.Fprintf(out, "  ISL utilization      %.1f%%\n", 100*s.ISLUtilization)
+	fmt.Fprintf(out, "  worker utilization   %.1f%%\n", 100*s.WorkerUtilization)
+	fmt.Fprintf(out, "  compute energy       %.1f kWh\n", s.ComputeEnergy.WattHours()/1e3)
+	if s.KeptUp {
+		fmt.Fprintln(out, "\n  → the SµDC keeps up with the constellation")
+	} else {
+		fmt.Fprintln(out, "\n  → UNDERSIZED: the SµDC falls behind")
+	}
+	return nil
+}

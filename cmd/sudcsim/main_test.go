@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runSim(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestDefaultSimulation(t *testing.T) {
+	out := runSim(t, "-hours", "0.5")
+	for _, want := range []string{
+		"Flood Detection", "frames generated", "worker utilization", "keeps up",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUndersizedReported(t *testing.T) {
+	out := runSim(t, "-app", "Panoptic Segmentation", "-hours", "1")
+	if !strings.Contains(out, "UNDERSIZED") {
+		t.Errorf("overloaded sim must report undersized:\n%s", out)
+	}
+}
+
+func TestFilteringHelps(t *testing.T) {
+	out := runSim(t, "-app", "Panoptic Segmentation", "-hours", "1", "-filter", "0.8")
+	if !strings.Contains(out, "keeps up") {
+		t.Errorf("80%% filtering should make panoptic sustainable:\n%s", out)
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-app", "Whale Counting"}, &b); err == nil {
+		t.Error("unknown app must error")
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-satellites", "0"}, &b); err == nil {
+		t.Error("zero satellites must error")
+	}
+	if err := run([]string{"-isl", "0"}, &b); err == nil {
+		t.Error("zero ISL must error")
+	}
+}
+
+func TestTinyPowerStillRuns(t *testing.T) {
+	out := runSim(t, "-power", "0.05", "-hours", "0.2")
+	if !strings.Contains(out, "1 ×") {
+		t.Errorf("sub-worker budget must clamp to one worker:\n%s", out)
+	}
+}

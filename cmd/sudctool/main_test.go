@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestDefaultRun(t *testing.T) {
+	out := runTool(t)
+	for _, want := range []string{
+		"4 kW compute", "RTX 3090", "Mass budget", "Cost breakdown",
+		"first-unit TCO", "power", "structure",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Default is a single unit: no Wright's-law line.
+	if strings.Contains(out, "-unit run") {
+		t.Error("single-unit run must not print production pricing")
+	}
+}
+
+func TestDeviceSelection(t *testing.T) {
+	out := runTool(t, "-device", "H100", "-power", "10")
+	if !strings.Contains(out, "H100") || !strings.Contains(out, "10 kW compute") {
+		t.Errorf("H100/10kW not reflected in output:\n%s", out)
+	}
+}
+
+func TestUnknownDevice(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-device", "TPUv9"}, &b); err == nil {
+		t.Error("unknown device must error")
+	}
+}
+
+func TestCompressionFlag(t *testing.T) {
+	plain := runTool(t)
+	compressed := runTool(t, "-compress", "neural")
+	// Neural compression shrinks the installed ISL from ~26 to ~6.6 Gbit/s.
+	if !strings.Contains(compressed, "6.55 Gbit/s") {
+		t.Errorf("neural compression not reflected:\n%s", compressed)
+	}
+	if plain == compressed {
+		t.Error("compression must change the design")
+	}
+	var b strings.Builder
+	if err := run([]string{"-compress", "zip"}, &b); err == nil {
+		t.Error("unknown compression must error")
+	}
+}
+
+func TestNoISL(t *testing.T) {
+	out := runTool(t, "-no-isl")
+	if !strings.Contains(out, "0 optical heads") {
+		t.Errorf("no-isl must install no heads:\n%s", out)
+	}
+}
+
+func TestSeerModel(t *testing.T) {
+	out := runTool(t, "-seer")
+	if !strings.Contains(out, "SEER-like") {
+		t.Error("SEER parameter set not used")
+	}
+}
+
+func TestProductionRun(t *testing.T) {
+	out := runTool(t, "-units", "50")
+	if !strings.Contains(out, "50-unit run (b=0.75)") {
+		t.Errorf("production pricing missing:\n%s", out)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-nonsense"}, &b); err == nil {
+		t.Error("unknown flag must error")
+	}
+}
+
+func TestInvalidPower(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-power", "0"}, &b); err == nil {
+		t.Error("zero power must error")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out := runTool(t, "-json")
+	var report map[string]any
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if report["compute_power_w"] != 4000.0 {
+		t.Errorf("compute_power_w = %v", report["compute_power_w"])
+	}
+	cost, ok := report["cost_breakdown"].(map[string]any)
+	if !ok {
+		t.Fatal("missing cost_breakdown")
+	}
+	if cost["tco_usd"].(float64) <= 0 {
+		t.Error("non-positive TCO in JSON")
+	}
+	if len(report["mass_budget"].([]any)) != 10 {
+		t.Error("mass budget rows missing")
+	}
+}

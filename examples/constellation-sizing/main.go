@@ -1,0 +1,96 @@
+// Constellation sizing: given an Earth-observation constellation and an
+// application, decide how many SµDCs to fly, whether edge filtering on the
+// EO satellites pays off, and whether a distributed fleet beats one big
+// satellite — the paper's §V and §VI studies, run as a planning tool.
+//
+// The example also replays the chosen configuration through the
+// discrete-event simulator to confirm the analytical sizing holds under
+// bursty arrivals and batching.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sudc/internal/constellation"
+	"sudc/internal/core"
+	"sudc/internal/netsim"
+	"sudc/internal/units"
+	"sudc/internal/workload"
+	"sudc/internal/wright"
+)
+
+func main() {
+	app, err := workload.ByName("Flood Detection")
+	if err != nil {
+		log.Fatal(err)
+	}
+	eo := constellation.Default64
+
+	fmt.Printf("Sizing SµDC capacity for %q over a %d-satellite constellation\n\n",
+		app.Name, eo.Satellites)
+
+	// 1. How many 4 kW SµDCs does the constellation need?
+	n, err := eo.SuDCsNeeded(app, units.KW(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	demand, _ := eo.DataDemand(app)
+	fmt.Printf("Offered load %v → %d × 4 kW SµDC(s)\n\n", demand, n)
+
+	// 2. Would collaborative compute (cloud filtering on the EO
+	//    satellites, ~2/3 of frames discarded) shrink the bill?
+	base := core.DefaultConfig(units.KW(4))
+	for _, phi := range []float64{0, 0.5, 2.0 / 3} {
+		cfg, err := constellation.CollaborativeConfig(base, phi, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tco, err := cfg.TCO()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  filtering %.2f → %v SµDC, TCO %s\n", phi, cfg.ComputePower, tco)
+	}
+
+	// 3. Distributed vs monolithic: for a 16 kW aggregate, is one big
+	//    SµDC or several small ones cheaper once Wright's-law learning
+	//    kicks in?
+	fmt.Println("\nDistributed vs monolithic at 16 kW aggregate (b = 0.75):")
+	costFn := func(per units.Power) (units.Dollars, units.Dollars, error) {
+		b, err := core.DefaultConfig(per).Breakdown()
+		if err != nil {
+			return 0, 0, err
+		}
+		tot := b.Total()
+		return tot.NRE, tot.RE, nil
+	}
+	points, err := wright.DefaultAerospace.Sweep(units.KW(16), 6, costFn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range points {
+		fmt.Printf("  %d × %-7v → %s\n", p.Satellites, p.PerSatellite, p.Total)
+	}
+	best, _ := wright.Best(points)
+	fmt.Printf("  → optimum: %d satellite(s)\n\n", best.Satellites)
+
+	// 4. Confirm the sizing dynamically: replay the scenario in the
+	//    discrete-event simulator.
+	sim := netsim.DefaultConfig(app)
+	stats, err := netsim.Run(sim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Discrete-event check (2 h simulated):\n")
+	fmt.Printf("  frames %d processed / %d generated, backlog %d\n",
+		stats.FramesProcessed, stats.FramesGenerated, stats.Backlog)
+	fmt.Printf("  worker utilization %.0f%%, ISL utilization %.0f%%\n",
+		100*stats.WorkerUtilization, 100*stats.ISLUtilization)
+	fmt.Printf("  mean latency %v (p95 %v)\n", stats.MeanLatency, stats.P95Latency)
+	if stats.KeptUp {
+		fmt.Println("  → the SµDC keeps up with the constellation")
+	} else {
+		fmt.Println("  → undersized: the SµDC falls behind")
+	}
+}

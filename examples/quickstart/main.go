@@ -1,0 +1,70 @@
+// Quickstart: design a 4 kW Space Microdatacenter with the library's
+// defaults, print its headline physical figures and total cost of
+// ownership, and show how the main design knobs move the answer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sudc"
+)
+
+func main() {
+	// The one-liner: price the paper's reference 4 kW SµDC.
+	cfg := sudc.Config(4 * sudc.Kilowatt)
+	tco, err := sudc.TCO(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("A 4 kW SµDC costs %s over its 5-year mission.\n\n", tco)
+
+	// The two-step flow exposes the full physical design.
+	design, err := sudc.Design(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Physical design:\n")
+	fmt.Printf("  wet mass      %s\n", design.WetMass)
+	fmt.Printf("  solar array   %s at beginning of life\n", design.EPS.BOLArrayPower)
+	fmt.Printf("  radiator      %.1f m²\n", design.Thermal.Area.SquareMeters())
+	fmt.Printf("  ISL           %s\n\n", design.InstalledISLRate)
+
+	// And the costed breakdown, subsystem by subsystem.
+	breakdown, err := design.Cost()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Top cost drivers:")
+	for _, item := range breakdown.SortedItems() {
+		if share := breakdown.Share(item.Subsystem); share > 0.08 {
+			fmt.Printf("  %-14s %5.1f%%\n", item.Subsystem, 100*share)
+		}
+	}
+
+	// The paper's headline: TCO scales sublinearly in compute power.
+	fmt.Println("\nTCO vs compute power (the paper's Figure 5 headline):")
+	base := 0.0
+	for _, kw := range []float64{0.5, 2, 4, 10} {
+		v, err := sudc.TCO(sudc.Config(sudc.KW(kw)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = float64(v)
+		}
+		fmt.Printf("  %5.1f kW: %8s  (%.2f× the 500 W SµDC)\n", kw, v, float64(v)/base)
+	}
+
+	// Longer missions cost superlinearly more.
+	fmt.Println("\nTCO vs lifetime for the 4 kW design:")
+	for _, years := range []float64{1, 5, 10} {
+		c := cfg
+		c.Lifetime = sudc.Years(years)
+		v, err := sudc.TCO(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4.0f yr: %s\n", years, v)
+	}
+}

@@ -1,0 +1,79 @@
+// Trade study: sweep the SµDC design space in several dimensions at once
+// and extract the Pareto-efficient designs — the multi-dimensional
+// generalization of the paper's one-axis sensitivity figures, run the way
+// a mission designer would.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"sudc/internal/core"
+	"sudc/internal/trade"
+	"sudc/internal/units"
+)
+
+func main() {
+	base := core.DefaultConfig(units.KW(4))
+
+	// 1. A three-dimensional sweep: compute power × lifetime × altitude.
+	dims := []trade.Dimension{
+		trade.ComputePowerKW(0.5, 1, 2, 4, 8),
+		trade.LifetimeYears(3, 5, 7),
+		trade.AltitudeKM(450, 550, 700),
+	}
+	points, err := trade.Sweep(base, dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Swept %d designs (power × lifetime × altitude).\n\n", len(points))
+
+	// 2. The cheapest design per compute level.
+	fmt.Println("Cheapest design per compute level:")
+	byPower := map[float64]trade.Point{}
+	for _, p := range points {
+		kw := p.Coords["compute kW"]
+		if cur, ok := byPower[kw]; !ok || p.TCO < cur.TCO {
+			byPower[kw] = p
+		}
+	}
+	var powers []float64
+	for kw := range byPower {
+		powers = append(powers, kw)
+	}
+	sort.Float64s(powers)
+	for _, kw := range powers {
+		p := byPower[kw]
+		fmt.Printf("  %4.1f kW → %s at %.0f km, %g yr (%.0f kg wet)\n",
+			kw, p.TCO, p.Coords["altitude km"], p.Coords["lifetime yr"],
+			p.WetMass.Kilograms())
+	}
+
+	// 3. The TCO-vs-capability Pareto front.
+	front, err := trade.ParetoFront(points, []trade.Objective{
+		trade.MinTCO, trade.MaxComputePower,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPareto front (min TCO, max compute): %d of %d designs\n", len(front), len(points))
+	for _, p := range front {
+		fmt.Printf("  %4.1f kW, %g yr, %.0f km → %s\n",
+			p.Coords["compute kW"], p.Coords["lifetime yr"], p.Coords["altitude km"], p.TCO)
+	}
+
+	// 4. And the single cheapest way to fly 4 kW.
+	var fourKW []trade.Point
+	for _, p := range points {
+		if p.Coords["compute kW"] == 4 {
+			fourKW = append(fourKW, p)
+		}
+	}
+	best, err := trade.Best(fourKW, trade.MinTCO)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nCheapest 4 kW mission: %g yr at %.0f km → %s\n",
+		best.Coords["lifetime yr"], best.Coords["altitude km"], best.TCO)
+}

@@ -1,0 +1,3 @@
+module sudc
+
+go 1.22

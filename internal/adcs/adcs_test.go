@@ -1,0 +1,112 @@
+package adcs
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sudc/internal/units"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		c       Config
+		wantErr bool
+	}{
+		{"default", DefaultConfig(), false},
+		{"two wheels", Config{Pointing: StandardPointing, WheelCount: 2, StarTrackers: 2}, true},
+		{"no trackers", Config{Pointing: StandardPointing, WheelCount: 4, StarTrackers: 0}, true},
+	}
+	for _, tt := range tests {
+		if err := tt.c.Validate(); (err != nil) != tt.wantErr {
+			t.Errorf("%s: err = %v, wantErr %v", tt.name, err, tt.wantErr)
+		}
+	}
+}
+
+func TestSizeErrors(t *testing.T) {
+	if _, err := Size(Config{WheelCount: 1, StarTrackers: 1}, 500); err == nil {
+		t.Error("invalid config must error")
+	}
+	if _, err := Size(DefaultConfig(), -1); err == nil {
+		t.Error("negative dry mass must error")
+	}
+}
+
+func TestSizePlausible500kg(t *testing.T) {
+	d, err := Size(DefaultConfig(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 500 kg smallsat carries roughly 10-20 kg of ADCS.
+	if m := d.Mass.Kilograms(); m < 8 || m > 25 {
+		t.Errorf("ADCS mass = %.1f kg, want 8-25", m)
+	}
+	if p := d.Power.Watts(); p < 20 || p > 80 {
+		t.Errorf("ADCS power = %.1f W, want 20-80", p)
+	}
+	if d.HardwareCost < 1e6 || d.HardwareCost > 5e6 {
+		t.Errorf("ADCS cost = %v, want low single-digit $M", d.HardwareCost)
+	}
+}
+
+func TestSublinearMassScaling(t *testing.T) {
+	// 4× the satellite should need well under 4× the ADCS (Amdahl effect
+	// the paper cites for TCO sublinearity).
+	d1, _ := Size(DefaultConfig(), 500)
+	d4, _ := Size(DefaultConfig(), 2000)
+	ratio := float64(d4.Mass) / float64(d1.Mass)
+	if ratio <= 1 || ratio >= 3 {
+		t.Errorf("ADCS mass ratio for 4× sat = %.2f, want (1,3)", ratio)
+	}
+}
+
+func TestFinePointingCostsMore(t *testing.T) {
+	std := DefaultConfig()
+	fine := DefaultConfig()
+	fine.Pointing = FinePointing
+	coarse := DefaultConfig()
+	coarse.Pointing = CoarsePointing
+	dStd, _ := Size(std, 500)
+	dFine, _ := Size(fine, 500)
+	dCoarse, _ := Size(coarse, 500)
+	if !(dFine.HardwareCost > dStd.HardwareCost && dStd.HardwareCost > dCoarse.HardwareCost) {
+		t.Errorf("cost must rise with pointing class: %v %v %v",
+			dCoarse.HardwareCost, dStd.HardwareCost, dFine.HardwareCost)
+	}
+	// Pointing class must not change mass, only cost.
+	if dFine.Mass != dStd.Mass {
+		t.Error("pointing class must not change ADCS mass in this model")
+	}
+}
+
+func TestPointingClassString(t *testing.T) {
+	if !strings.Contains(FinePointing.String(), "fine") {
+		t.Errorf("FinePointing.String() = %q", FinePointing)
+	}
+	if got := PointingClass(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown class String() = %q", got)
+	}
+}
+
+func TestMassMonotoneInDryMass(t *testing.T) {
+	f := func(raw uint16) bool {
+		m := units.Mass(10 + float64(raw))
+		d1, err1 := Size(DefaultConfig(), m)
+		d2, err2 := Size(DefaultConfig(), m+50)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return d2.Mass > d1.Mass && d2.Power > d1.Power && d2.HardwareCost > d1.HardwareCost
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,111 @@
+package compress
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sudc/internal/units"
+)
+
+func TestAllValid(t *testing.T) {
+	for _, a := range append(All(), None) {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestRatioOrdering(t *testing.T) {
+	// The paper's savings ordering: CCSDS < JPEG2000 < neural.
+	if !(CCSDS.Ratio < JPEG2000.Ratio && JPEG2000.Ratio < Neural.Ratio) {
+		t.Errorf("ratio ordering broken: %v %v %v", CCSDS.Ratio, JPEG2000.Ratio, Neural.Ratio)
+	}
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Ratio >= all[i].Ratio {
+			t.Error("All() must be sorted weakest ratio first")
+		}
+	}
+}
+
+func TestCompressedRate(t *testing.T) {
+	r, err := Neural.CompressedRate(units.GbpsOf(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(r.Gigabits(), 25, 1e-12) {
+		t.Errorf("100 Gbit/s at 4:1 = %v, want 25 Gbit/s", r.Gigabits())
+	}
+	if _, err := Neural.CompressedRate(-1); err == nil {
+		t.Error("negative raw rate must error")
+	}
+	if _, err := (Algorithm{Name: "bad", Ratio: 0.5}).CompressedRate(1); err == nil {
+		t.Error("ratio < 1 must error")
+	}
+}
+
+func TestNoneIsIdentity(t *testing.T) {
+	raw := units.GbpsOf(42)
+	r, err := None.CompressedRate(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != raw {
+		t.Errorf("uncompressed rate changed: %v", r)
+	}
+	if None.Savings() != 0 {
+		t.Error("uncompressed savings must be zero")
+	}
+}
+
+func TestSavings(t *testing.T) {
+	// Asymptotic TCO savings in Fig. 10 are proportional to 1 − 1/ratio:
+	// CCSDS ≈ 33%, JPEG2000 ≈ 58%, neural = 75% of the ISL cost share.
+	if got := CCSDS.Savings(); !units.ApproxEqual(got, 1-1/1.5, 1e-12) {
+		t.Errorf("CCSDS savings = %v", got)
+	}
+	if got := Neural.Savings(); !units.ApproxEqual(got, 0.75, 1e-12) {
+		t.Errorf("neural savings = %v, want 0.75", got)
+	}
+	if (Algorithm{}).Savings() != 0 {
+		t.Error("degenerate algorithm must report zero savings")
+	}
+}
+
+func TestDecodePower(t *testing.T) {
+	p := Neural.DecodePower(units.GbpsOf(10))
+	if got := p.Watts(); !units.ApproxEqual(got, 50, 1e-9) {
+		t.Errorf("neural decode power at 10 Gbit/s = %v W, want 50", got)
+	}
+	if None.DecodePower(units.GbpsOf(10)) != 0 {
+		t.Error("uncompressed stream needs no decode power")
+	}
+}
+
+func TestLosslessFlags(t *testing.T) {
+	if !CCSDS.Lossless || !JPEG2000.Lossless {
+		t.Error("CCSDS and JPEG2000 are lossless")
+	}
+	if Neural.Lossless {
+		t.Error("neural coder is quasi-lossless, not lossless")
+	}
+	if Neural.PSNRdB <= 40 {
+		t.Error("neural coder is high-PSNR")
+	}
+}
+
+func TestCompressedRateNeverIncreases(t *testing.T) {
+	f := func(raw uint32) bool {
+		rate := units.DataRate(raw)
+		for _, a := range All() {
+			c, err := a.CompressedRate(rate)
+			if err != nil || c > rate {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

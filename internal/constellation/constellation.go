@@ -1,0 +1,160 @@
+// Package constellation models Earth-observation constellations served by
+// SµDCs: aggregate imaging data demand, the number of SµDCs needed to
+// support a constellation (Table III's rightmost column), and the
+// collaborative-compute architecture of paper §V, in which EO satellites
+// filter data at the edge before offloading to the SµDC (Figs. 19–21).
+package constellation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sudc/internal/core"
+	"sudc/internal/units"
+	"sudc/internal/workload"
+)
+
+// Constellation is a fleet of EO satellites feeding SµDCs.
+type Constellation struct {
+	// Satellites is the EO satellite count (the paper sizes for 64).
+	Satellites int
+	// FramesPerMinute is each satellite's imaging rate (paper: "around six
+	// images per minute").
+	FramesPerMinute float64
+	// FilterRate φ ∈ [0,1) is the fraction of data the EO satellites'
+	// edge compute discards before ISL offload (0 = baseline
+	// configuration, Fig. 20a; cloud filtering ≈ 2/3, Fig. 20b).
+	FilterRate float64
+}
+
+// Default64 is the paper's reference constellation: 64 EO satellites at
+// six frames per minute with no edge filtering.
+var Default64 = Constellation{Satellites: 64, FramesPerMinute: 6}
+
+// Validate reports configuration errors.
+func (c Constellation) Validate() error {
+	if c.Satellites < 1 {
+		return errors.New("constellation: need at least one satellite")
+	}
+	if c.FramesPerMinute <= 0 {
+		return errors.New("constellation: imaging rate must be positive")
+	}
+	if c.FilterRate < 0 || c.FilterRate >= 1 {
+		return fmt.Errorf("constellation: filter rate %v out of [0,1)", c.FilterRate)
+	}
+	return nil
+}
+
+// PixelDemand returns the constellation's post-filtering pixel production
+// rate for an app, in pixels/s.
+func (c Constellation) PixelDemand(app workload.App) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if err := app.Validate(); err != nil {
+		return 0, err
+	}
+	perSat := c.FramesPerMinute / 60 * app.FrameMPixels * 1e6
+	return perSat * float64(c.Satellites) * (1 - c.FilterRate), nil
+}
+
+// DataDemand returns the aggregate ISL traffic the constellation offers a
+// SµDC for an app, after edge filtering.
+func (c Constellation) DataDemand(app workload.App) (units.DataRate, error) {
+	px, err := c.PixelDemand(app)
+	if err != nil {
+		return 0, err
+	}
+	return units.DataRate(px * workload.BitsPerPixel), nil
+}
+
+// SuDCsNeeded returns how many SµDCs of the given compute power are needed
+// to process the constellation's stream of an app in real time — the
+// Table III "# SµDC" column (computed there for 4 kW, RTX 3090, no
+// filtering).
+func (c Constellation) SuDCsNeeded(app workload.App, sudcPower units.Power) (int, error) {
+	demand, err := c.PixelDemand(app)
+	if err != nil {
+		return 0, err
+	}
+	capacity, err := app.PixelThroughput(sudcPower)
+	if err != nil {
+		return 0, err
+	}
+	if capacity <= 0 {
+		return 0, fmt.Errorf("constellation: app %q has no throughput", app.Name)
+	}
+	n := int(math.Ceil(demand / capacity))
+	if n < 1 {
+		n = 1
+	}
+	return n, nil
+}
+
+// RequiredComputePower returns the SµDC compute budget that just absorbs
+// the constellation's stream for an app at a hardware energy-efficiency
+// scalar e (≥1): demand / (kpixel/J × e).
+func (c Constellation) RequiredComputePower(app workload.App, e float64) (units.Power, error) {
+	if e < 1 {
+		return 0, errors.New("constellation: efficiency scalar must be ≥ 1")
+	}
+	demand, err := c.PixelDemand(app)
+	if err != nil {
+		return 0, err
+	}
+	return units.Power(demand / (app.KPixelPerJoule * 1e3) / e), nil
+}
+
+// CollaborativeConfig derives the SµDC configuration serving this
+// constellation from a zero-filtering baseline config (paper §V): edge
+// filtering scales both the compute budget and the ISL capacity by
+// (1 − φ); a hardware energy-efficiency scalar e additionally divides the
+// compute budget (but not the ISL — the data still has to arrive).
+//
+// At φ = 0, e = 1 the returned config is the baseline (with its ISL rate
+// pinned so later scaling is well-defined).
+func CollaborativeConfig(base core.Config, filterRate, e float64) (core.Config, error) {
+	if filterRate < 0 || filterRate >= 1 {
+		return core.Config{}, fmt.Errorf("constellation: filter rate %v out of [0,1)", filterRate)
+	}
+	if e < 1 {
+		return core.Config{}, errors.New("constellation: efficiency scalar must be ≥ 1")
+	}
+	out := base
+	keep := 1 - filterRate
+	out.ComputePower = units.Power(float64(base.ComputePower) * keep / e)
+	rate := base.ISLRate
+	if rate == 0 {
+		rate = core.DesignISLRate(base.ComputePower)
+	}
+	out.ISLRate = units.DataRate(float64(rate) * keep)
+	return out, nil
+}
+
+// TCOImprovement returns the baseline-TCO / collaborative-TCO ratio for a
+// baseline SµDC config at edge filter rate φ and hardware efficiency
+// scalar e (Fig. 21's metric; >1 means the collaborative constellation is
+// cheaper).
+func TCOImprovement(base core.Config, filterRate, e float64) (float64, error) {
+	baseCfg, err := CollaborativeConfig(base, 0, e)
+	if err != nil {
+		return 0, err
+	}
+	baseTCO, err := baseCfg.TCO()
+	if err != nil {
+		return 0, err
+	}
+	collab, err := CollaborativeConfig(base, filterRate, e)
+	if err != nil {
+		return 0, err
+	}
+	collabTCO, err := collab.TCO()
+	if err != nil {
+		return 0, err
+	}
+	if collabTCO <= 0 {
+		return 0, errors.New("constellation: non-positive collaborative TCO")
+	}
+	return float64(baseTCO) / float64(collabTCO), nil
+}

@@ -1,0 +1,170 @@
+// Package downlink models the architecture SµDCs replace: the bent-pipe
+// model, in which EO satellites store imagery until they pass over a
+// ground station and downlink it raw for terrestrial processing. The
+// paper's opening motivation (Fig. 1, [19], [86]) is that this path is
+// bandwidth-starved ("downlink deficit") and slow ("current EO image
+// processing latencies are measured in hours, due in large part to the
+// time it takes an LEO satellite to orbit above a downlink station").
+//
+// The model is analytic: contact geometry gives the fraction of each
+// orbit a station is visible, which bounds the downlinkable volume; the
+// gap between passes plus the transmission backlog gives the latency a
+// frame sees before it is even on the ground.
+package downlink
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sudc/internal/orbit"
+	"sudc/internal/units"
+	"sudc/internal/workload"
+)
+
+// GroundStation describes a receiving site.
+type GroundStation struct {
+	Name string
+	// Rate is the downlink capacity while in contact (X/Ka-band).
+	Rate units.DataRate
+	// MinElevationDeg is the mask angle below which no contact happens.
+	MinElevationDeg float64
+}
+
+// DefaultStation is a Ka-band polar station (KSAT-class).
+var DefaultStation = GroundStation{
+	Name:            "polar X-band",
+	Rate:            400 * units.Mbps,
+	MinElevationDeg: 10,
+}
+
+// Network is a set of (assumed well-separated) ground stations.
+type Network struct {
+	Station GroundStation
+	// Count is the number of stations the satellite can use.
+	Count int
+}
+
+// DefaultNetwork is a three-station polar network.
+var DefaultNetwork = Network{Station: DefaultStation, Count: 3}
+
+// Validate reports configuration errors.
+func (n Network) Validate() error {
+	if n.Count < 1 {
+		return errors.New("downlink: need at least one station")
+	}
+	if n.Station.Rate <= 0 {
+		return errors.New("downlink: station needs positive rate")
+	}
+	if n.Station.MinElevationDeg < 0 || n.Station.MinElevationDeg >= 90 {
+		return fmt.Errorf("downlink: mask angle %v out of [0,90)", n.Station.MinElevationDeg)
+	}
+	return nil
+}
+
+// ContactFraction returns the fraction of time the satellite is in view
+// of one station, from spherical geometry: a station sees the satellite
+// while it is within the Earth-central half-angle
+//
+//	λ = arccos(Re·cos(ε)/(Re+h)) − ε
+//
+// of the station's zenith; for a pass through zenith the visible arc is
+// 2λ of the orbit's 360°.
+func ContactFraction(o orbit.Orbit, s GroundStation) (float64, error) {
+	if err := o.Validate(); err != nil {
+		return 0, err
+	}
+	eps := s.MinElevationDeg * math.Pi / 180
+	re := units.EarthRadius
+	a := o.SemiMajorAxis()
+	lambda := math.Acos(re*math.Cos(eps)/a) - eps
+	if lambda <= 0 {
+		return 0, errors.New("downlink: no visibility above the mask angle")
+	}
+	// Average over pass geometries: not every orbit passes through zenith.
+	// A polar station under a polar orbit sees roughly one pass per orbit
+	// with chord lengths averaging ~2/π of the maximum arc.
+	return (2 * lambda / (2 * math.Pi)) * (2 / math.Pi), nil
+}
+
+// Budget is the bent-pipe capacity and latency estimate.
+type Budget struct {
+	// OfferedRate is the satellite's average data production.
+	OfferedRate units.DataRate
+	// DeliverableRate is the network-limited average downlink throughput.
+	DeliverableRate units.DataRate
+	// Deficit is offered minus deliverable (≥ 0): data that must be
+	// discarded, compressed, or processed on board.
+	Deficit units.DataRate
+	// MeanGapToPass is the average wait until the next usable pass.
+	MeanGapToPass float64 // seconds
+	// MeanLatency is the expected frame age at ground arrival: half the
+	// inter-pass gap plus the backlog drain time within a pass.
+	MeanLatency float64 // seconds
+}
+
+// DeficitRatio returns the fraction of produced data that cannot come
+// down (the paper's "downlink deficit").
+func (b Budget) DeficitRatio() float64 {
+	if b.OfferedRate <= 0 {
+		return 0
+	}
+	return float64(b.Deficit) / float64(b.OfferedRate)
+}
+
+// Plan evaluates the bent-pipe path for a constellation of satellites
+// sharing the ground network — the deficit is a constellation-level
+// phenomenon: each station serves one satellite at a time.
+func Plan(o orbit.Orbit, n Network, app workload.App, framesPerMinute float64, satellites int) (Budget, error) {
+	if err := n.Validate(); err != nil {
+		return Budget{}, err
+	}
+	if err := app.Validate(); err != nil {
+		return Budget{}, err
+	}
+	if framesPerMinute <= 0 {
+		return Budget{}, errors.New("downlink: imaging rate must be positive")
+	}
+	if satellites < 1 {
+		return Budget{}, errors.New("downlink: need at least one satellite")
+	}
+	cf, err := ContactFraction(o, n.Station)
+	if err != nil {
+		return Budget{}, err
+	}
+	// Each station serves one satellite at a time, so the network's
+	// aggregate duty cycle caps at Count full-time stations regardless of
+	// how many satellites are overhead.
+	aggregateDuty := math.Min(float64(n.Count), cf*float64(satellites)*float64(n.Count))
+
+	offered := units.DataRate(framesPerMinute / 60 * app.FrameBits() * float64(satellites))
+	deliverable := units.DataRate(float64(n.Station.Rate) * aggregateDuty)
+	deficit := offered - deliverable
+	if deficit < 0 {
+		deficit = 0
+	}
+
+	// Pass cadence: stations distributed along the ground track give
+	// Count usable passes per orbit at best; the mean wait for the next
+	// pass is half the inter-pass gap.
+	period := o.Period()
+	gap := period / float64(n.Count)
+	meanWait := gap / 2
+
+	// Within a pass, the backlog accumulated over the gap drains at the
+	// network rate; a frame waits on average half the drain time beyond
+	// its own wait (capped at the gap — beyond that the backlog never
+	// clears and data ages out: the deficit).
+	drain := 0.0
+	if deliverable > 0 {
+		backlogBits := float64(offered) * gap
+		drain = math.Min(backlogBits/float64(deliverable), gap) / 2
+	}
+	return Budget{
+		OfferedRate:     offered,
+		DeliverableRate: deliverable,
+		Deficit:         deficit,
+		MeanGapToPass:   gap,
+		MeanLatency:     meanWait + drain,
+	}, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"sudc/internal/accel"
+	"sudc/internal/constellation"
+	"sudc/internal/dse"
+	"sudc/internal/hardware"
+	"sudc/internal/units"
+	"sudc/internal/workload"
+)
+
+// TableII prints the hardware catalog (price, TDP, TFLOPs, TID) with the
+// derived FLOPs/W and FLOPs/$ ratios the paper's §III analysis uses.
+func TableII() (Table, error) {
+	t := Table{
+		ID:     "Table II",
+		Title:  "GPGPU and radiation-hardened processor catalog",
+		Header: []string{"system", "class", "TID (krad)", "price ($)", "TDP (W)", "FP32 TFLOPs", "TF32 TFLOPs", "GFLOPs/W", "GFLOPs/$"},
+	}
+	for _, d := range hardware.Catalog() {
+		price, tdp, tf32 := "N/A", "N/A", "N/A"
+		if d.Price > 0 {
+			price = f0(float64(d.Price))
+		}
+		if d.TDP > 0 {
+			tdp = f0(float64(d.TDP))
+		}
+		if d.TF32TFLOPs > 0 {
+			tf32 = f1(d.TF32TFLOPs)
+		}
+		perW, perD := "N/A", "N/A"
+		if v := d.FLOPsPerWatt(true); v > 0 {
+			perW = f1(v / 1e9)
+		}
+		if v := d.FLOPsPerDollar(true); v > 0 {
+			perD = f1(v / 1e9)
+		}
+		t.AddRow(d.Name, d.Class.String(), f0(float64(d.TIDToleranceKrad)),
+			price, tdp, fmt.Sprintf("%g", d.FP32TFLOPs), tf32, perW, perD)
+	}
+	return t, nil
+}
+
+// TableIII prints the application suite with the measured RTX 3090
+// characteristics and the number of 4 kW SµDCs needed for a 64-satellite
+// constellation.
+func TableIII() (Table, error) {
+	t := Table{
+		ID:     "Table III",
+		Title:  "application performance on RTX 3090 + SµDCs for 64 EO satellites",
+		Header: []string{"app", "P (W)", "util", "infer (s)", "kpixel/J", "# SµDC"},
+	}
+	for _, a := range workload.Suite {
+		n, err := constellation.Default64.SuDCsNeeded(a, units.KW(4))
+		if err != nil {
+			return Table{}, err
+		}
+		t.AddRow(a.Name, f0(float64(a.GPUPower)), pct(a.GPUUtilization),
+			f2(a.InferTime), f0(a.KPixelPerJoule), fmt.Sprintf("%d", n))
+	}
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: the ISL data rate needed to saturate RTX 3090
+// fleets of 0.5–10 kW for each application.
+func Fig8() (Table, error) {
+	t := Table{
+		ID:     "Figure 8",
+		Title:  "ISL rate (Gbit/s) to saturate compute, per application",
+		Header: []string{"app", "0.5 kW", "2 kW", "4 kW", "10 kW"},
+	}
+	for _, a := range workload.Suite {
+		row := []string{a.Name}
+		for _, p := range []units.Power{units.KW(0.5), units.KW(2), units.KW(4), units.KW(10)} {
+			r, err := a.SaturationRate(p)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, f1(r.Gigabits()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// The 7168-design exploration takes ~2 s; share one run across Fig17,
+// Fig21 and any caller that needs the architecture efficiency factors.
+var (
+	dseOnce sync.Once
+	dseRes  dse.Result
+	dseErr  error
+)
+
+// DSEResult returns the cached full design-space exploration.
+func DSEResult() (dse.Result, error) {
+	dseOnce.Do(func() {
+		dseRes, dseErr = dse.Explore(workload.Suite, accel.RTX3090Baseline)
+	})
+	return dseRes, dseErr
+}
+
+// Fig17 reproduces Figure 17: per-network energy-efficiency gains of the
+// Global, Per-Network and Per-Layer accelerator architectures over the
+// commodity GPU baseline.
+func Fig17() (Table, error) {
+	r, err := DSEResult()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "Figure 17",
+		Title:  fmt.Sprintf("accelerator energy-efficiency gains over RTX 3090 (%d designs)", r.DesignsEvaluated),
+		Header: []string{"network", "global", "per-network", "per-layer", "per-network design"},
+	}
+	for _, n := range r.Networks {
+		t.AddRow(n.Network, f1(n.GlobalGain())+"×", f1(n.PerNetworkGain())+"×",
+			f1(n.PerLayerGain())+"×", n.BestConfig.String())
+	}
+	t.AddRow("geomean", f1(r.MeanGlobalGain())+"×", f1(r.MeanPerNetworkGain())+"×",
+		f1(r.MeanPerLayerGain())+"×", r.Global.String()+" (global)")
+	return t, nil
+}

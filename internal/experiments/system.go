@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sudc/internal/constellation"
+	"sudc/internal/core"
+	"sudc/internal/reliability"
+	"sudc/internal/units"
+	"sudc/internal/wright"
+)
+
+// Fig19 reproduces Figure 19: relative TCO of the SµDC serving a
+// constellation as the EO satellites' edge filtering rate improves
+// (baseline: the 4 kW SµDC at zero filtering).
+func Fig19() (Table, error) {
+	base := core.DefaultConfig(units.KW(4))
+	zero, err := constellation.CollaborativeConfig(base, 0, 1)
+	if err != nil {
+		return Table{}, err
+	}
+	ref, err := zero.TCO()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "Figure 19",
+		Title:  "relative TCO vs edge filtering rate (baseline: 4 kW SµDC)",
+		Header: []string{"filter rate", "SµDC compute", "relative TCO"},
+	}
+	for _, phi := range []float64{0, 0.1, 0.25, 1.0 / 3, 0.5, 2.0 / 3, 0.8, 0.9} {
+		cfg, err := constellation.CollaborativeConfig(base, phi, 1)
+		if err != nil {
+			return Table{}, err
+		}
+		v, err := cfg.TCO()
+		if err != nil {
+			return Table{}, err
+		}
+		t.AddRow(f2(phi), cfg.ComputePower.String(), f2(float64(v)/float64(ref)))
+	}
+	return t, nil
+}
+
+// Fig21 reproduces Figure 21: TCO improvement from a collaborative compute
+// constellation vs hardware energy-efficiency factor and filtering rate.
+// The three architecture rows use the DSE-measured efficiency factors for
+// the commodity GPU, the global accelerator and the per-layer
+// (heterogeneous) accelerator.
+func Fig21() (Table, error) {
+	r, err := DSEResult()
+	if err != nil {
+		return Table{}, err
+	}
+	archs := []struct {
+		name string
+		e    float64
+	}{
+		{"commodity GPU", 1},
+		{"global accelerator", r.MeanGlobalGain()},
+		{"heterogeneous (per-layer)", r.MeanPerLayerGain()},
+	}
+	base := core.DefaultConfig(units.KW(4))
+	t := Table{
+		ID:     "Figure 21",
+		Title:  "collaborative-constellation TCO improvement (×) vs filtering rate",
+		Header: []string{"architecture", "eff ×", "φ=1/3", "φ=1/2", "φ=2/3 (cloud filtering)"},
+	}
+	for _, a := range archs {
+		row := []string{a.name, f1(a.e)}
+		for _, phi := range []float64{1.0 / 3, 0.5, 2.0 / 3} {
+			imp, err := constellation.TCOImprovement(base, phi, a.e)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, f2(imp)+"×")
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig22 reproduces Figure 22: Wright's-law marginal satellite cost vs
+// cumulative units for the three reference design points at b = 0.75.
+func Fig22() (Table, error) {
+	t := Table{
+		ID:     "Figure 22",
+		Title:  "marginal satellite cost vs units produced (b = 0.75, $M)",
+		Header: []string{"unit #", "500 W", "4 kW", "10 kW"},
+	}
+	type point struct {
+		nre, re units.Dollars
+	}
+	costs := make([]point, 0, 3)
+	for _, p := range referencePowers {
+		b, err := core.DefaultConfig(p).Breakdown()
+		if err != nil {
+			return Table{}, err
+		}
+		tot := b.Total()
+		costs = append(costs, point{nre: tot.NRE, re: tot.RE})
+	}
+	for _, n := range []int{1, 2, 5, 10, 25, 50, 100} {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, c := range costs {
+			unit, err := wright.DefaultAerospace.UnitCost(c.re, n)
+			if err != nil {
+				return Table{}, err
+			}
+			if n == 1 {
+				unit += c.nre // the first unit carries the NRE
+			}
+			row = append(row, f1(unit.Millions()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig23 reproduces Figure 23: total constellation cost (NRE + learning-
+// discounted RE) vs the number of satellites sharing a fixed 32 kW
+// aggregate compute target, for several progress ratios.
+func Fig23() (Table, error) {
+	ratios := []float64{0.65, 0.70, 0.75, 0.80, 0.85}
+	costFn := func(per units.Power) (units.Dollars, units.Dollars, error) {
+		b, err := core.DefaultConfig(per).Breakdown()
+		if err != nil {
+			return 0, 0, err
+		}
+		tot := b.Total()
+		return tot.NRE, tot.RE, nil
+	}
+	const maxN = 10
+	sweeps := make([][]wright.Point, len(ratios))
+	for i, b := range ratios {
+		pts, err := wright.Curve{ProgressRatio: b}.Sweep(units.KW(32), maxN, costFn)
+		if err != nil {
+			return Table{}, err
+		}
+		sweeps[i] = pts
+	}
+	t := Table{
+		ID:     "Figure 23",
+		Title:  "constellation TCO ($M) vs # satellites at 32 kW aggregate",
+		Header: []string{"# satellites", "b=0.65", "b=0.70", "b=0.75", "b=0.80", "b=0.85"},
+	}
+	for n := 1; n <= maxN; n++ {
+		row := []string{fmt.Sprintf("%d", n)}
+		for i := range ratios {
+			row = append(row, f1(sweeps[i][n-1].Total.Millions()))
+		}
+		t.AddRow(row...)
+	}
+	best := []string{"optimum N"}
+	for i := range ratios {
+		b, err := wright.Best(sweeps[i])
+		if err != nil {
+			return Table{}, err
+		}
+		best = append(best, fmt.Sprintf("%d", b.Satellites))
+	}
+	t.AddRow(best...)
+	return t, nil
+}
+
+// overprovisioningFactors are Figure 24/25's node counts (10 needed).
+var overprovisioningFactors = []int{10, 15, 20, 25, 30}
+
+// Fig24 reproduces Figure 24: the probability that at least 10 servers
+// work vs time, for overprovisioning factors n = 10…30.
+func Fig24() (Table, error) {
+	t := Table{
+		ID:     "Figure 24",
+		Title:  "P(≥10 servers alive) vs time (in MTTF units)",
+		Header: []string{"t/T", "n=10", "n=15", "n=20", "n=25", "n=30"},
+	}
+	for _, tt := range []float64{0, 0.25, 0.46, 0.5, 0.8, 1.0, 1.25, 1.43, 1.89, 2.5} {
+		row := []string{f2(tt)}
+		for _, n := range overprovisioningFactors {
+			a, err := reliability.Availability(n, 10, tt)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, fmt.Sprintf("%.4f", a))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"t @ P=1%"}
+	for _, n := range overprovisioningFactors {
+		v, err := reliability.TimeToAvailability(n, 10, 0.01)
+		if err != nil {
+			return Table{}, err
+		}
+		row = append(row, f2(v))
+	}
+	t.AddRow(row...)
+	return t, nil
+}
+
+// Fig25 reproduces Figure 25: the expected number of working servers
+// (capped at 10 by the power budget) vs time.
+func Fig25() (Table, error) {
+	t := Table{
+		ID:     "Figure 25",
+		Title:  "E[min(10, working servers)] vs time (in MTTF units)",
+		Header: []string{"t/T", "n=10", "n=15", "n=20", "n=25", "n=30"},
+	}
+	for _, tt := range []float64{0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5} {
+		row := []string{f2(tt)}
+		for _, n := range overprovisioningFactors {
+			e, err := reliability.ExpectedWorking(n, 10, tt)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, f2(e))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig26 reproduces Figure 26: total ionizing dose before failure vs
+// technology node, against the 5-year LEO mission dose.
+func Fig26() (Table, error) {
+	t := Table{
+		ID:     "Figure 26",
+		Title:  "TID before failure vs technology node (5-yr LEO dose ≈ 2.5 krad)",
+		Header: []string{"processor", "node (nm)", "TID (krad)", "censored", "margin over 5-yr LEO"},
+	}
+	const fiveYearLEOKrad = 2.5
+	for _, r := range reliability.TIDDataset() {
+		cens := ""
+		if r.NoFailure {
+			cens = "no failure observed"
+		}
+		t.AddRow(r.Processor, f0(r.TechNodeNm), f0(r.ToleranceKrad), cens,
+			f1(r.ToleranceKrad/fiveYearLEOKrad)+"×")
+	}
+	return t, nil
+}
+
+// Fig27 reproduces Figure 27: ImageNet accuracy vs soft-error flux under
+// the paper's pessimistic every-upset-misclassifies assumption.
+func Fig27() (Table, error) {
+	fluxes := []float64{0, 0.01, 0.05, 0.1, 0.5, 1}
+	t := Table{
+		ID:     "Figure 27",
+		Title:  "ImageNet top-1 accuracy vs upset flux (upsets/Mbit/s)",
+		Header: []string{"network", "0", "0.01", "0.05", "0.1", "0.5", "1"},
+	}
+	for _, n := range reliability.SoftErrorSuite() {
+		row := []string{n.Name}
+		for _, f := range fluxes {
+			a, err := n.AccuracyUnderFlux(f)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, fmt.Sprintf("%.3f", a))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig28 reproduces Figure 28: relative TCO of TMR, DMR and software
+// redundancy for equivalent computing powers of 0.5–4 kW. The baseline is
+// the unprotected SµDC at each equivalent power.
+func Fig28() (Table, error) {
+	t := Table{
+		ID:     "Figure 28",
+		Title:  "relative TCO of redundancy schemes (baseline: unprotected, per power level)",
+		Header: []string{"equivalent power", "TMR", "DMR", "software"},
+	}
+	for _, kw := range []float64{0.5, 1, 2, 4} {
+		base, err := core.DefaultConfig(units.KW(kw)).TCO()
+		if err != nil {
+			return Table{}, err
+		}
+		row := []string{fmt.Sprintf("%.1f kW", kw)}
+		for _, s := range reliability.Schemes() {
+			c := core.DefaultConfig(units.Power(kw * 1000 * s.PowerOverhead))
+			v, err := c.TCO()
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, f2(float64(v)/float64(base)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

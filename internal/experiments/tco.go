@@ -1,0 +1,414 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sudc/internal/compress"
+	"sudc/internal/core"
+	"sudc/internal/hardware"
+	"sudc/internal/solar"
+	"sudc/internal/sscm"
+	"sudc/internal/terrestrial"
+	"sudc/internal/thermal"
+	"sudc/internal/units"
+)
+
+// referencePowers are the paper's three headline design points.
+var referencePowers = []units.Power{units.KW(0.5), units.KW(4), units.KW(10)}
+
+// TableI prints the derivations behind the SSCM-SµDC input parameters for
+// the 4 kW reference design — the quantities Table I of the paper derives.
+func TableI() (Table, error) {
+	d, err := core.DefaultConfig(units.KW(4)).Build()
+	if err != nil {
+		return Table{}, err
+	}
+	sc := solar.DefaultConfig()
+	t := Table{
+		ID:     "Table I",
+		Title:  "SSCM-SµDC input parameter derivations (4 kW reference design)",
+		Header: []string{"parameter", "value", "derivation"},
+	}
+	t.AddRow("compute payload power", d.ComputePower.String(), "design variable")
+	t.AddRow("ISL rate", d.InstalledISLRate.String(), "geomean workload saturation")
+	t.AddRow("ISL power", d.ISL.Power.String(), "saturating link law")
+	t.AddRow("heat-pump power", d.Thermal.PumpPower.String(), "heat load / CoP")
+	t.AddRow("EOL system power", d.EOLPower.String(), "payload + bus + pump")
+	t.AddRow("BOL array power", units.Power(d.Drivers.BOLPower).String(),
+		fmt.Sprintf("EOL / (eclipse·PMAD·(1-%.3f)^L)", sc.Cell.AnnualDegradation))
+	t.AddRow("solar array area", d.EPS.ArrayArea.String(), "BOL / (S·η·ID)")
+	t.AddRow("radiator area", d.Thermal.Area.String(), "Q / εσ(T⁴-T_s⁴)·2 faces")
+	t.AddRow("battery capacity", fmt.Sprintf("%.1f kWh", d.EPS.BatteryCapacity.WattHours()/1e3), "eclipse load / DoD")
+	t.AddRow("propellant mass", d.Propulsion.Propellant.String(), "m_dry(e^{Δv/vₑ}-1)")
+	t.AddRow("dry mass", d.DryMass.String(), "fixed-point mass closure")
+	t.AddRow("wet mass", d.WetMass.String(), "dry + propellant")
+	t.AddRow("C&DH rate (X-band eq.)", fmt.Sprintf("%.0f Mbit/s", d.Drivers.CDHRateMbps), "FSO / (FSO:X-band ratio)")
+	return t, nil
+}
+
+// Fig3 reproduces Figure 3: the subsystem cost breakdown of a 4 kW SµDC
+// under the SSCM-SµDC-like and SEER-like parameter sets.
+func Fig3() (Table, error) {
+	d, err := core.DefaultConfig(units.KW(4)).Build()
+	if err != nil {
+		return Table{}, err
+	}
+	ref, err := sscm.Reference().Estimate(d.Drivers)
+	if err != nil {
+		return Table{}, err
+	}
+	alt, err := sscm.Alt().Estimate(d.Drivers)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "Figure 3",
+		Title:  "4 kW SµDC subsystem cost shares: SSCM-SµDC vs SEER-like",
+		Header: []string{"subsystem", "SSCM-SµDC", "SEER-like"},
+	}
+	for _, s := range sscm.Subsystems() {
+		t.AddRow(s.String(), pct(ref.Share(s)), pct(alt.Share(s)))
+	}
+	t.AddRow("power+thermal", pct(ref.Share(sscm.Power)+ref.Share(sscm.Thermal)),
+		pct(alt.Share(sscm.Power)+alt.Share(sscm.Thermal)))
+	return t, nil
+}
+
+// Fig4 reproduces Figure 4: TCO vs lifetime for 0.5/4/10 kW SµDCs,
+// relative to the 500 W SµDC with a one-year lifetime.
+func Fig4() (Table, error) {
+	base := core.DefaultConfig(units.KW(0.5))
+	base.Lifetime = 1
+	ref, err := base.TCO()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "Figure 4",
+		Title:  "relative TCO vs lifetime (baseline: 500 W, 1 yr)",
+		Header: []string{"lifetime (yr)", "500 W", "4 kW", "10 kW"},
+	}
+	for _, yr := range []int{1, 2, 3, 5, 7, 10} {
+		row := []string{fmt.Sprintf("%d", yr)}
+		for _, p := range referencePowers {
+			c := core.DefaultConfig(p)
+			c.Lifetime = units.Years(yr)
+			v, err := c.TCO()
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, f2(float64(v)/float64(ref)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig5 reproduces Figure 5: total and subsystem-level TCO vs compute
+// power, normalized to the 500 W total.
+func Fig5() (Table, error) {
+	base, err := core.DefaultConfig(units.KW(0.5)).Breakdown()
+	if err != nil {
+		return Table{}, err
+	}
+	ref := float64(base.TCO())
+	groups := []struct {
+		name string
+		subs []sscm.Subsystem
+	}{
+		{"power+thermal", []sscm.Subsystem{sscm.Power, sscm.Thermal}},
+		{"structure+prop", []sscm.Subsystem{sscm.Structure, sscm.Propulsion}},
+		{"avionics", []sscm.Subsystem{sscm.ADCS, sscm.CDH, sscm.TTC}},
+		{"compute hw", []sscm.Subsystem{sscm.PayloadCompute}},
+		{"comms", []sscm.Subsystem{sscm.FSOComm}},
+		{"wraps+launch+ops", []sscm.Subsystem{sscm.IAT, sscm.ProgramMgmt, sscm.LOOS, sscm.Launch, sscm.Operations}},
+	}
+	t := Table{
+		ID:     "Figure 5",
+		Title:  "relative TCO vs compute power (baseline: 500 W total)",
+		Header: []string{"compute power", "total", "power+thermal", "structure+prop", "avionics", "compute hw", "comms", "wraps+launch+ops", "compute hw share"},
+	}
+	for _, kw := range []float64{0.5, 1, 2, 4, 6, 8, 10} {
+		b, err := core.DefaultConfig(units.KW(kw)).Breakdown()
+		if err != nil {
+			return Table{}, err
+		}
+		row := []string{fmt.Sprintf("%.1f kW", kw), f2(float64(b.TCO()) / ref)}
+		for _, g := range groups {
+			var sum units.Dollars
+			for _, s := range g.subs {
+				sum += b.Items[s].FirstUnit()
+			}
+			row = append(row, f2(float64(sum)/ref))
+		}
+		row = append(row, pct(b.Share(sscm.PayloadCompute)))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: satellite mass breakdown vs compute power,
+// normalized to the 500 W total mass.
+func Fig6() (Table, error) {
+	base, err := core.DefaultConfig(units.KW(0.5)).Build()
+	if err != nil {
+		return Table{}, err
+	}
+	ref := float64(base.WetMass)
+	t := Table{
+		ID:     "Figure 6",
+		Title:  "relative mass vs compute power (baseline: 500 W total mass)",
+		Header: []string{"compute power", "total", "compute", "power", "thermal", "structure", "propellant", "other", "compute share"},
+	}
+	for _, kw := range []float64{0.5, 1, 2, 4, 6, 8, 10} {
+		d, err := core.DefaultConfig(units.KW(kw)).Build()
+		if err != nil {
+			return Table{}, err
+		}
+		other := d.WetMass - d.ComputeMass - d.EPS.TotalMass() - d.Thermal.TotalMass() -
+			d.StructureMass - d.Propulsion.Propellant
+		t.AddRow(fmt.Sprintf("%.1f kW", kw),
+			f2(float64(d.WetMass)/ref),
+			f2(float64(d.ComputeMass)/ref),
+			f2(float64(d.EPS.TotalMass())/ref),
+			f2(float64(d.Thermal.TotalMass())/ref),
+			f2(float64(d.StructureMass)/ref),
+			f2(float64(d.Propulsion.Propellant)/ref),
+			f2(float64(other)/ref),
+			pct(d.ComputeMassShare()))
+	}
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: TCO vs installed ISL capacity for the three
+// reference sizes, as increase over the no-ISL satellite.
+func Fig7() (Table, error) {
+	t := Table{
+		ID:     "Figure 7",
+		Title:  "TCO increase vs ISL data rate (relative to a no-ISL SµDC)",
+		Header: []string{"ISL rate", "500 W", "4 kW", "10 kW"},
+	}
+	bases := make(map[units.Power]float64)
+	for _, p := range referencePowers {
+		c := core.DefaultConfig(p)
+		c.OmitISL = true
+		v, err := c.TCO()
+		if err != nil {
+			return Table{}, err
+		}
+		bases[p] = float64(v)
+	}
+	for _, g := range []float64{0, 5, 10, 25, 50, 100, 200} {
+		row := []string{fmt.Sprintf("%.0f Gbit/s", g)}
+		for _, p := range referencePowers {
+			c := core.DefaultConfig(p)
+			if g == 0 {
+				c.OmitISL = true
+			} else {
+				c.ISLRate = units.GbpsOf(g)
+			}
+			v, err := c.TCO()
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, pct(float64(v)/bases[p]-1))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9: TCO across processor architectures at the
+// three reference power budgets, relative to the RTX 3090 500 W design.
+func Fig9() (Table, error) {
+	baseCfg := core.DefaultConfig(units.KW(0.5))
+	ref, err := baseCfg.TCO()
+	if err != nil {
+		return Table{}, err
+	}
+	devices := []hardware.Device{hardware.RTX3090, hardware.A100, hardware.H100}
+	t := Table{
+		ID:     "Figure 9",
+		Title:  "relative TCO vs architecture (baseline: 500 W RTX 3090)",
+		Header: []string{"compute power", "RTX 3090", "A100", "H100", "TFLOPs/$TCO best"},
+	}
+	for _, p := range referencePowers {
+		row := []string{p.String()}
+		bestName, bestPerf := "", 0.0
+		for _, dev := range devices {
+			c := core.DefaultConfig(p)
+			c.Server = hardware.DefaultServer(dev)
+			v, err := c.TCO()
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, f2(float64(v)/float64(ref)))
+			// Performance per TCO dollar: sustained tensor FLOP/s per $.
+			flops := dev.FLOPsPerWatt(true) * float64(p)
+			if perf := flops / float64(v); perf > bestPerf {
+				bestPerf = perf
+				bestName = dev.Name
+			}
+		}
+		row = append(row, bestName)
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig10 reproduces Figure 10: TCO of a 4 kW-workload SµDC vs compute
+// energy-efficiency scalar, with each compression algorithm shrinking the
+// ISL, normalized to the uncompressed e=1 point.
+func Fig10() (Table, error) {
+	islRate := core.DesignISLRate(units.KW(4))
+	configFor := func(e float64, alg compress.Algorithm) core.Config {
+		c := core.DefaultConfig(units.Power(4000 / e))
+		c.ISLRate = islRate
+		c.Compression = alg
+		return c
+	}
+	ref, err := configFor(1, compress.None).TCO()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "Figure 10",
+		Title:  "relative TCO vs energy-efficiency scalar under compression (4 kW workload)",
+		Header: []string{"efficiency", "uncompressed", "CCSDS", "JPEG2000", "neural", "neural saving"},
+	}
+	for _, e := range []float64{1, 2, 5, 10, 50, 100, 1000} {
+		row := []string{fmt.Sprintf("%g×", e)}
+		var plain, neural float64
+		for _, alg := range []compress.Algorithm{compress.None, compress.CCSDS, compress.JPEG2000, compress.Neural} {
+			v, err := configFor(e, alg).TCO()
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, f2(float64(v)/float64(ref)))
+			if alg.Name == compress.None.Name {
+				plain = float64(v)
+			}
+			if alg.Name == compress.Neural.Name {
+				neural = float64(v)
+			}
+		}
+		row = append(row, pct(1-neural/plain))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig11 reproduces Figure 11: normalized TCO category breakdowns for two
+// satellite cost models and three terrestrial datacenter models.
+func Fig11() (Table, error) {
+	d, err := core.DefaultConfig(units.KW(4)).Build()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "Figure 11",
+		Title:  "normalized TCO shares: satellite vs terrestrial models",
+		Header: []string{"model", "servers", "networking", "power", "infrastructure", "other"},
+	}
+	// Satellite models: map subsystems onto the figure's categories.
+	for _, m := range []sscm.Model{sscm.Reference(), sscm.Alt()} {
+		b, err := m.Estimate(d.Drivers)
+		if err != nil {
+			return Table{}, err
+		}
+		servers := b.Share(sscm.PayloadCompute)
+		networking := b.Share(sscm.FSOComm) + b.Share(sscm.CDH) + b.Share(sscm.TTC)
+		power := b.Share(sscm.Power) + b.Share(sscm.Thermal)
+		infra := b.Share(sscm.Structure) + b.Share(sscm.ADCS) + b.Share(sscm.Propulsion) + b.Share(sscm.Launch)
+		other := 1 - servers - networking - power - infra
+		t.AddRow(m.Name, pct(servers), pct(networking), pct(power), pct(infra), pct(other))
+	}
+	for _, m := range terrestrial.Models() {
+		t.AddRow(m.Name,
+			pct(m.Share(terrestrial.Servers)),
+			pct(m.Share(terrestrial.Networking)),
+			pct(m.Share(terrestrial.PowerEnergy)+m.Share(terrestrial.PowerDistribution)),
+			pct(m.Share(terrestrial.Infrastructure)),
+			pct(m.Share(terrestrial.Other)))
+	}
+	return t, nil
+}
+
+// Fig12 reproduces Figure 12: required radiator area vs panel temperature
+// for 500 W, 4 kW and 10 kW of rejected heat.
+func Fig12() (Table, error) {
+	t := Table{
+		ID:     "Figure 12",
+		Title:  "radiator area vs temperature (ε = 0.86, both faces to space)",
+		Header: []string{"temperature", "500 W", "4 kW", "10 kW"},
+	}
+	for _, celsius := range []float64{-20, 0, 20, 45, 70, 100} {
+		r := thermal.DefaultRadiator
+		r.Temperature = units.Celsius(celsius)
+		row := []string{fmt.Sprintf("%.0f °C", celsius)}
+		for _, q := range []units.Power{units.KW(0.5), units.KW(4), units.KW(10)} {
+			a, err := r.AreaFor(q)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, fmt.Sprintf("%.2f m²", a.SquareMeters()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig15 reproduces Figure 15: relative TCO vs energy-efficiency scalar for
+// the in-space datacenter and the three on-Earth scaling modes, with
+// constant hardware prices.
+func Fig15() (Table, error) {
+	return efficiencyScalingTable("Figure 15",
+		"relative TCO vs energy efficiency (constant hardware cost)",
+		terrestrial.ConstantPrice)
+}
+
+// Fig16 reproduces Figure 16: the same sweep with hardware prices scaling
+// logarithmically in the efficiency gain.
+func Fig16() (Table, error) {
+	return efficiencyScalingTable("Figure 16",
+		"relative TCO vs energy efficiency (logarithmic hardware price scaling)",
+		terrestrial.LogarithmicPrice)
+}
+
+func efficiencyScalingTable(id, title string, price terrestrial.PriceScaling) (Table, error) {
+	islRate := core.DesignISLRate(units.KW(4))
+	spaceTCO := func(e float64) (float64, error) {
+		c := core.DefaultConfig(units.Power(4000 / e))
+		c.ISLRate = islRate
+		if price == terrestrial.LogarithmicPrice {
+			c.Server.IntegrationCostFactor *= price.PriceMultiplier(e)
+		}
+		v, err := c.TCO()
+		return float64(v), err
+	}
+	ref, err := spaceTCO(1)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"efficiency", "in-space", "On-Earth (Default)", "On-Earth (HPE)", "On-Earth (LPO)"},
+	}
+	for _, e := range []float64{1, 2, 5, 10, 50, 100, 200, 500, 1000} {
+		v, err := spaceTCO(e)
+		if err != nil {
+			return Table{}, err
+		}
+		row := []string{fmt.Sprintf("%g×", e), f2(v / ref)}
+		for _, mode := range []terrestrial.ScalingMode{terrestrial.DefaultScaling, terrestrial.HPEScaling, terrestrial.LPOScaling} {
+			r, err := terrestrial.Hardy.RelativeTCO(e, mode, price)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, f2(r))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

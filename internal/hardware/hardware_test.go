@@ -1,0 +1,169 @@
+package hardware
+
+import (
+	"testing"
+
+	"sudc/internal/units"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	c := Catalog()
+	if len(c) != 8 {
+		t.Fatalf("catalog has %d devices, want 8 (Table II)", len(c))
+	}
+	names := map[string]bool{}
+	for _, d := range c {
+		if d.Name == "" {
+			t.Error("device with empty name")
+		}
+		if names[d.Name] {
+			t.Errorf("duplicate device %q", d.Name)
+		}
+		names[d.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("A100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TF32TFLOPs != 156 {
+		t.Errorf("A100 TF32 = %v, want 156", d.TF32TFLOPs)
+	}
+	if _, err := ByName("TPUv9"); err == nil {
+		t.Error("unknown device must error")
+	}
+}
+
+func TestPaperEfficiencyRatios(t *testing.T) {
+	// Paper §III: "the A100 and H100 have max FLOPs/W advantage of 5.1×
+	// and 21.2×, respectively, over RTX 3090" (using tensor ops).
+	base := RTX3090.FLOPsPerWatt(true)
+	a := A100.FLOPsPerWatt(true) / base
+	h := H100.FLOPsPerWatt(true) / base
+	if !units.ApproxEqual(a, 5.1, 0.02) {
+		t.Errorf("A100/3090 FLOPs/W ratio = %.2f, want ≈5.1", a)
+	}
+	if !units.ApproxEqual(h, 21.2, 0.03) {
+		t.Errorf("H100/3090 FLOPs/W ratio = %.2f, want ≈21.2", h)
+	}
+}
+
+func TestPaperPriceRatios(t *testing.T) {
+	// Paper §III: A100 and H100 max FLOPs/$ are 0.50× and 0.82× the 3090.
+	base := RTX3090.FLOPsPerDollar(false)
+	if base <= 0 {
+		t.Fatal("3090 FLOPs/$ must be positive")
+	}
+	a := A100.FLOPsPerDollar(true) / base
+	h := H100.FLOPsPerDollar(true) / base
+	if !units.ApproxEqual(a, 0.50, 0.15) {
+		t.Errorf("A100/3090 FLOPs/$ ratio = %.2f, want ≈0.50", a)
+	}
+	if !units.ApproxEqual(h, 0.82, 0.05) {
+		t.Errorf("H100/3090 FLOPs/$ ratio = %.2f, want ≈0.82", h)
+	}
+}
+
+func TestVirtex5QVvsH100(t *testing.T) {
+	// Paper §VIII: rad-hard Virtex-5QV is 27× less energy-efficient than
+	// H100 in FP32, 405× with TF32.
+	fp32 := H100.FLOPsPerWatt(false) / Virtex5QV.FLOPsPerWatt(false)
+	tf32 := H100.FLOPsPerWatt(true) / Virtex5QV.FLOPsPerWatt(false)
+	if !units.ApproxEqual(fp32, 27, 0.03) {
+		t.Errorf("H100/Virtex FP32 efficiency ratio = %.1f, want ≈27", fp32)
+	}
+	if !units.ApproxEqual(tf32, 405, 0.03) {
+		t.Errorf("H100(TF32)/Virtex efficiency ratio = %.0f, want ≈405", tf32)
+	}
+}
+
+func TestMissingFieldsReturnZero(t *testing.T) {
+	if Radeon780M.FLOPsPerDollar(false) != 0 {
+		t.Error("no-price device must report zero FLOPs/$")
+	}
+	if KintexXQR.FLOPsPerWatt(false) != 0 {
+		t.Error("no-TDP device must report zero FLOPs/W")
+	}
+}
+
+func TestSurvivesLEO(t *testing.T) {
+	// 5-yr LEO at 0.5 krad/yr = 2.5 krad; rad-hard parts survive with huge
+	// margin; worst-case COTS band (2 krad) does not at 1× margin.
+	if !RAD750.SurvivesLEO(2.5, 10) {
+		t.Error("RAD750 must survive 10× a 5-yr LEO dose")
+	}
+	if RTX3090.SurvivesLEO(2.5, 1) {
+		t.Error("worst-case COTS band should not clear 2.5 krad at low end")
+	}
+}
+
+func TestFleetFor(t *testing.T) {
+	f, err := FleetFor(DefaultServer(RTX3090), units.KW(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4000/350 = 11.4 → 11 nodes.
+	if f.Nodes != 11 {
+		t.Errorf("4 kW of 3090s = %d nodes, want 11", f.Nodes)
+	}
+	if got := f.Power.Watts(); got != 11*350 {
+		t.Errorf("fleet power = %v, want 3850", got)
+	}
+	// 35 W/kg packaged: 3850/35 = 110 kg.
+	if got := f.Mass.Kilograms(); !units.ApproxEqual(got, 110, 1e-9) {
+		t.Errorf("fleet mass = %v kg, want 110", got)
+	}
+	if f.HardwareCost <= 0 || f.PeakFLOPs <= 0 {
+		t.Error("fleet cost and FLOPs must be positive")
+	}
+}
+
+func TestFleetForAtLeastOneNode(t *testing.T) {
+	f, err := FleetFor(DefaultServer(H100), units.Power(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Nodes != 1 {
+		t.Errorf("undersized budget must still install one node, got %d", f.Nodes)
+	}
+}
+
+func TestFleetForErrors(t *testing.T) {
+	if _, err := FleetFor(Server{Device: RTX3090}, units.KW(1)); err == nil {
+		t.Error("zero device count must error")
+	}
+	if _, err := FleetFor(DefaultServer(KintexXQR), units.KW(1)); err == nil {
+		t.Error("device without TDP must error")
+	}
+	if _, err := FleetFor(DefaultServer(RTX3090), 0); err == nil {
+		t.Error("zero budget must error")
+	}
+}
+
+func TestRankByEfficiency(t *testing.T) {
+	ranked := RankByEfficiency()
+	if len(ranked) == 0 {
+		t.Fatal("empty ranking")
+	}
+	if ranked[0].Name != "H100" {
+		t.Errorf("most efficient device = %q, want H100", ranked[0].Name)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].FLOPsPerWatt(true) < ranked[i].FLOPsPerWatt(true) {
+			t.Error("ranking not sorted descending")
+		}
+	}
+	// Rad-hard parts with published TDP appear at the bottom.
+	last := ranked[len(ranked)-1]
+	if last.Class != RadHard {
+		t.Errorf("least efficient ranked device = %q, want a rad-hard part", last.Name)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if COTS.String() != "COTS" || RadHard.String() != "rad-hard" {
+		t.Error("Class.String mismatch")
+	}
+}

@@ -1,0 +1,179 @@
+package lifecycle
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sudc/internal/units"
+	"sudc/internal/wright"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Policy)
+	}{
+		{"no target", func(p *Policy) { p.Target = 0 }},
+		{"negative spares", func(p *Policy) { p.Spares = -1 }},
+		{"no lifetime", func(p *Policy) { p.DesignLifetime = 0 }},
+		{"negative mttf", func(p *Policy) { p.EarlyFailureMTTF = -1 }},
+		{"no horizon", func(p *Policy) { p.Horizon = 0 }},
+		{"negative lead", func(p *Policy) { p.ReplacementLeadTime = -1 }},
+	}
+	for _, tt := range tests {
+		p := DefaultPolicy()
+		tt.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected error", tt.name)
+		}
+	}
+}
+
+func TestExpectedUnits(t *testing.T) {
+	// 5 satellites, 15-yr horizon, 5-yr lifetime: 3 generations = 15
+	// scheduled units, plus early failures 5 × 15/25 = 3 → 18.
+	p := DefaultPolicy()
+	got, err := p.ExpectedUnits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-18) > 1e-9 {
+		t.Errorf("expected units = %v, want 18", got)
+	}
+	// No early failures: exactly the scheduled waves.
+	p.EarlyFailureMTTF = 0
+	got, _ = p.ExpectedUnits()
+	if got != 15 {
+		t.Errorf("scheduled-only units = %v, want 15", got)
+	}
+	// Horizon shorter than a lifetime: just the initial fleet.
+	p.Horizon = 3
+	got, _ = p.ExpectedUnits()
+	if got != 5 {
+		t.Errorf("single-generation units = %v, want 5", got)
+	}
+}
+
+func TestProgramCostLearningMatters(t *testing.T) {
+	p := DefaultPolicy()
+	nre, re := units.MUSD(40), units.MUSD(52)
+	cheap, err := p.ProgramCost(nre, re, wright.Curve{ProgressRatio: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := p.ProgramCost(nre, re, wright.Curve{ProgressRatio: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap >= flat {
+		t.Error("learning must reduce program cost")
+	}
+	// Flat learning = NRE + 18 × RE.
+	want := float64(nre) + 18*float64(re)
+	if !units.ApproxEqual(float64(flat), want, 1e-9) {
+		t.Errorf("flat program cost = %v, want %v", flat, want)
+	}
+	bad := p
+	bad.Target = 0
+	if _, err := bad.ProgramCost(nre, re, wright.DefaultAerospace); err == nil {
+		t.Error("invalid policy must error")
+	}
+}
+
+func TestSimulateReplacementKeepsAvailability(t *testing.T) {
+	p := DefaultPolicy()
+	r, err := p.Simulate(30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a spare and half-year lead time, the target is nearly always met.
+	if r.Availability < 0.95 {
+		t.Errorf("availability = %.3f, want ≥0.95 with a spare", r.Availability)
+	}
+	if r.MeanOperational < float64(p.Target) {
+		t.Errorf("mean operational = %.2f, want ≥ target %d", r.MeanOperational, p.Target)
+	}
+	// Simulated build count is near the analytic expectation.
+	want, _ := p.ExpectedUnits()
+	if math.Abs(r.UnitsBuilt-want)/want > 0.25 {
+		t.Errorf("units built = %.1f, analytic expectation %.1f", r.UnitsBuilt, want)
+	}
+}
+
+func TestSparesImproveAvailability(t *testing.T) {
+	lean := DefaultPolicy()
+	lean.Spares = 0
+	lean.ReplacementLeadTime = 1 // slow resupply stresses the fleet
+	rich := lean
+	rich.Spares = 2
+	rLean, err := lean.Simulate(30, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rRich, err := rich.Simulate(30, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rRich.Availability <= rLean.Availability {
+		t.Errorf("spares must improve availability: %.3f vs %.3f",
+			rRich.Availability, rLean.Availability)
+	}
+	if rRich.UnitsBuilt <= rLean.UnitsBuilt {
+		t.Error("spares cost more units")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	p := DefaultPolicy()
+	if _, err := p.Simulate(0, 1); err == nil {
+		t.Error("zero trials must error")
+	}
+	p.Target = 0
+	if _, err := p.Simulate(10, 1); err == nil {
+		t.Error("invalid policy must error")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	p := DefaultPolicy()
+	a, err := p.Simulate(5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := p.Simulate(5, 42)
+	if a != b {
+		t.Error("same seed must reproduce results")
+	}
+}
+
+func TestAvailabilityWithoutSpares(t *testing.T) {
+	p := DefaultPolicy()
+	// Analytic: 4 of 4 alive at t=5 with 25-yr MTTF: e^{-4·5/25} ≈ 0.449.
+	got, err := p.AvailabilityWithoutSpares(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-4.0 * 5 / 25)
+	if !units.ApproxEqual(got, want, 1e-9) {
+		t.Errorf("availability = %v, want %v", got, want)
+	}
+	// Deterministic retirement with no random failures.
+	p.EarlyFailureMTTF = 0
+	if v, _ := p.AvailabilityWithoutSpares(3); v != 1 {
+		t.Error("before retirement, availability is 1")
+	}
+	if v, _ := p.AvailabilityWithoutSpares(6); v != 0 {
+		t.Error("after retirement, availability is 0")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	s := DefaultPolicy().String()
+	if !strings.Contains(s, "4+1") || !strings.Contains(s, "15 yr") {
+		t.Errorf("String() = %q", s)
+	}
+}

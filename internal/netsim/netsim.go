@@ -1,0 +1,296 @@
+// Package netsim is a discrete-event simulation of the paper's Figure 14
+// processing pipeline: EO satellites produce imagery frames, frames cross
+// the shared FSO inter-satellite link into the SµDC's input buffer, a
+// batcher groups them into energy-minimizing batches and dispatches them to
+// GPU workers, and an analyzer decides which results are "insights" worth
+// downlinking.
+//
+// The simulator cross-validates the analytical sizing: a 4 kW SµDC keeps up
+// with a 64-satellite constellation for every Table III application except
+// Panoptic Segmentation, which needs four (the "# SµDC" column), and
+// batching latency at low frame rates reaches the "several minutes" the
+// paper describes.
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sudc/internal/constellation"
+	"sudc/internal/units"
+	"sudc/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Constellation produces the frames.
+	Constellation constellation.Constellation
+	// App is the processed application (frame size, GPU characteristics).
+	App workload.App
+	// ISLRate is the aggregate link capacity into the SµDC.
+	ISLRate units.DataRate
+	// Workers is the number of GPU nodes; WorkerPower their per-node draw.
+	Workers     int
+	WorkerPower units.Power
+	// BatchSize is the energy-minimizing batch; a partial batch is
+	// dispatched after BatchTimeout.
+	BatchSize    int
+	BatchTimeout time.Duration
+	// InsightFraction of results is downlinked; the rest is discarded by
+	// the analyzer.
+	InsightFraction float64
+	// Duration is the simulated time span.
+	Duration time.Duration
+	// Seed drives the arrival-jitter and analyzer randomness.
+	Seed int64
+}
+
+// DefaultConfig simulates the paper's reference scenario for one app: the
+// 64-satellite constellation feeding a 4 kW SµDC.
+func DefaultConfig(app workload.App) Config {
+	workers := int(4000 / float64(app.GPUPower))
+	if workers < 1 {
+		workers = 1
+	}
+	return Config{
+		Constellation:   constellation.Default64,
+		App:             app,
+		ISLRate:         units.GbpsOf(30),
+		Workers:         workers,
+		WorkerPower:     app.GPUPower,
+		BatchSize:       8,
+		BatchTimeout:    2 * time.Minute,
+		InsightFraction: 0.2,
+		Duration:        2 * time.Hour,
+		Seed:            1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Constellation.Validate(); err != nil {
+		return err
+	}
+	if err := c.App.Validate(); err != nil {
+		return err
+	}
+	if c.ISLRate <= 0 {
+		return errors.New("netsim: ISL rate must be positive")
+	}
+	if c.Workers < 1 {
+		return errors.New("netsim: need at least one worker")
+	}
+	if c.WorkerPower <= 0 {
+		return errors.New("netsim: worker power must be positive")
+	}
+	if c.BatchSize < 1 {
+		return errors.New("netsim: batch size must be ≥ 1")
+	}
+	if c.BatchTimeout <= 0 {
+		return errors.New("netsim: batch timeout must be positive")
+	}
+	if c.InsightFraction < 0 || c.InsightFraction > 1 {
+		return fmt.Errorf("netsim: insight fraction %v out of [0,1]", c.InsightFraction)
+	}
+	if c.Duration <= 0 {
+		return errors.New("netsim: duration must be positive")
+	}
+	return nil
+}
+
+// Stats is the simulation outcome.
+type Stats struct {
+	// FramesGenerated, FramesProcessed, InsightsDownlinked count frames.
+	FramesGenerated    int
+	FramesProcessed    int
+	InsightsDownlinked int
+	// Backlog is frames still in flight or queued at the end of the run.
+	Backlog int
+	// MeanLatency and P95Latency are generation→processing-complete times.
+	MeanLatency time.Duration
+	P95Latency  time.Duration
+	// ISLUtilization and WorkerUtilization are busy-time fractions.
+	ISLUtilization    float64
+	WorkerUtilization float64
+	// MaxInputQueue is the peak frame count waiting for a batch slot.
+	MaxInputQueue int
+	// ComputeEnergy is the integrated worker energy over the run.
+	ComputeEnergy units.Energy
+	// KeptUp reports whether the SµDC drained its input: backlog at the
+	// end is below twice a batch per worker.
+	KeptUp bool
+}
+
+// event kinds.
+const (
+	evFrameReady  = iota // a satellite finished capturing a frame
+	evISLDone            // a frame finished crossing the ISL
+	evBatchDone          // a worker finished a batch
+	evBatchingOut        // batch timeout fired
+)
+
+type event struct {
+	at   float64 // seconds
+	kind int
+	sat  int
+	seq  int // heap tiebreak for determinism
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+type frame struct {
+	born float64 // generation time, s
+}
+
+// Run executes the simulation.
+func Run(c Config) (Stats, error) {
+	if err := c.Validate(); err != nil {
+		return Stats{}, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	horizon := c.Duration.Seconds()
+
+	framePeriod := 60 / c.Constellation.FramesPerMinute
+	frameBits := c.App.FrameBits() * (1 - c.Constellation.FilterRate)
+	islTime := frameBits / float64(c.ISLRate)
+
+	// Worker batch service time: pixels per batch over the node's pixel
+	// throughput (Table III kpixel/J × node power).
+	nodePixPerSec := c.App.KPixelPerJoule * 1e3 * float64(c.WorkerPower)
+	framePixels := c.App.FrameMPixels * 1e6 * (1 - c.Constellation.FilterRate)
+
+	var (
+		q            eventQueue
+		seq          int
+		islQueue     []frame // frames waiting for the link
+		islBusy      bool
+		islBusyTill  float64
+		islBusySum   float64
+		inputQueue   []frame // frames landed, waiting to batch
+		freeWorkers  = c.Workers
+		busySum      float64 // worker-seconds of service
+		timeoutArmed bool
+		stats        Stats
+		latencies    []float64
+		now          float64
+	)
+
+	push := func(at float64, kind, sat int) {
+		seq++
+		heap.Push(&q, event{at: at, kind: kind, sat: sat, seq: seq})
+	}
+
+	// Seed per-satellite frame generation with random phase.
+	for s := 0; s < c.Constellation.Satellites; s++ {
+		push(rng.Float64()*framePeriod, evFrameReady, s)
+	}
+
+	startISL := func() {
+		if islBusy || len(islQueue) == 0 {
+			return
+		}
+		islBusy = true
+		islBusyTill = now + islTime
+		islBusySum += islTime
+		push(islBusyTill, evISLDone, 0)
+	}
+
+	dispatch := func(force bool) {
+		for freeWorkers > 0 && (len(inputQueue) >= c.BatchSize || (force && len(inputQueue) > 0)) {
+			n := c.BatchSize
+			if n > len(inputQueue) {
+				n = len(inputQueue)
+			}
+			batch := inputQueue[:n]
+			inputQueue = append([]frame(nil), inputQueue[n:]...)
+			freeWorkers--
+			service := float64(n) * framePixels / nodePixPerSec
+			busySum += service
+			done := now + service
+			for _, f := range batch {
+				latencies = append(latencies, done-f.born)
+			}
+			stats.FramesProcessed += n
+			for i := 0; i < n; i++ {
+				if rng.Float64() < c.InsightFraction {
+					stats.InsightsDownlinked++
+				}
+			}
+			push(done, evBatchDone, 0)
+		}
+		if len(inputQueue) > 0 && !timeoutArmed {
+			timeoutArmed = true
+			push(now+c.BatchTimeout.Seconds(), evBatchingOut, 0)
+		}
+	}
+
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(event)
+		if e.at > horizon {
+			break
+		}
+		now = e.at
+		switch e.kind {
+		case evFrameReady:
+			stats.FramesGenerated++
+			islQueue = append(islQueue, frame{born: now})
+			startISL()
+			// Next frame from this satellite, with 5% timing jitter.
+			jitter := 1 + 0.1*(rng.Float64()-0.5)
+			push(now+framePeriod*jitter, evFrameReady, e.sat)
+		case evISLDone:
+			islBusy = false
+			f := islQueue[0]
+			islQueue = islQueue[1:]
+			inputQueue = append(inputQueue, f)
+			if len(inputQueue) > stats.MaxInputQueue {
+				stats.MaxInputQueue = len(inputQueue)
+			}
+			startISL()
+			dispatch(false)
+		case evBatchDone:
+			freeWorkers++
+			dispatch(false)
+		case evBatchingOut:
+			timeoutArmed = false
+			dispatch(true)
+		}
+	}
+
+	stats.Backlog = stats.FramesGenerated - stats.FramesProcessed
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		stats.MeanLatency = time.Duration(sum / float64(len(latencies)) * float64(time.Second))
+		stats.P95Latency = time.Duration(latencies[int(float64(len(latencies))*0.95)] * float64(time.Second))
+	}
+	stats.ISLUtilization = units.Clamp(islBusySum/horizon, 0, 1)
+	stats.WorkerUtilization = units.Clamp(busySum/(horizon*float64(c.Workers)), 0, 1)
+	stats.ComputeEnergy = units.Energy(busySum * float64(c.WorkerPower))
+	stats.KeptUp = stats.Backlog <= 2*c.BatchSize*c.Workers
+	return stats, nil
+}

@@ -1,0 +1,223 @@
+// Package planner turns the paper's models into a fleet-planning tool:
+// given an Earth-observation constellation and a mix of applications to
+// run over its imagery, it sizes the per-application compute demand,
+// packs the demands onto SµDCs of a chosen class (first-fit-decreasing
+// bin packing), and prices the resulting fleet — with Wright's-law
+// learning across the fleet's units.
+//
+// This operationalizes the paper's observation that a 4 kW SµDC supports
+// a 64-satellite constellation "for nearly all applications" (Table III):
+// the planner answers the follow-on question of how many SµDCs a *mix*
+// of applications needs and what the fleet costs.
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sudc/internal/constellation"
+	"sudc/internal/core"
+	"sudc/internal/units"
+	"sudc/internal/workload"
+	"sudc/internal/wright"
+)
+
+// Demand is one application the constellation's imagery must be run
+// through.
+type Demand struct {
+	App workload.App
+	// Coverage is the fraction of the constellation's frames this app
+	// processes (1 = every frame).
+	Coverage float64
+	// EfficiencyGain divides the commodity-GPU power requirement —
+	// set it to a DSE result to plan an accelerator-equipped fleet.
+	EfficiencyGain float64
+}
+
+// Validate reports demand errors.
+func (d Demand) Validate() error {
+	if err := d.App.Validate(); err != nil {
+		return err
+	}
+	if d.Coverage <= 0 || d.Coverage > 1 {
+		return fmt.Errorf("planner: %s: coverage %v out of (0,1]", d.App.Name, d.Coverage)
+	}
+	if d.EfficiencyGain < 0 {
+		return fmt.Errorf("planner: %s: negative efficiency gain", d.App.Name)
+	}
+	return nil
+}
+
+// Plan is the planning input.
+type Plan struct {
+	Constellation constellation.Constellation
+	Demands       []Demand
+	// SuDCClass is the per-satellite compute budget to pack into.
+	SuDCClass units.Power
+	// BaseConfig produces the SµDC design; its ComputePower is overridden
+	// with SuDCClass.
+	BaseConfig core.Config
+	// Learning prices the fleet (zero value = no learning).
+	Learning wright.Curve
+}
+
+// DefaultPlan plans 4 kW reference SµDCs with aerospace-typical learning.
+func DefaultPlan(eo constellation.Constellation, demands []Demand) Plan {
+	return Plan{
+		Constellation: eo,
+		Demands:       demands,
+		SuDCClass:     units.KW(4),
+		BaseConfig:    core.DefaultConfig(units.KW(4)),
+		Learning:      wright.DefaultAerospace,
+	}
+}
+
+// Allocation is one application's share of one SµDC.
+type Allocation struct {
+	App   string
+	Power units.Power
+}
+
+// SuDCLoad is one planned satellite and what runs on it.
+type SuDCLoad struct {
+	Index       int
+	Allocations []Allocation
+	// Used is the allocated compute power; Free = class − used.
+	Used units.Power
+	Free units.Power
+}
+
+// Result is a complete fleet plan.
+type Result struct {
+	// PerApp lists each demand's total power requirement.
+	PerApp []Allocation
+	// SuDCs is the packed fleet, largest loads first.
+	SuDCs []SuDCLoad
+	// FleetNRE is paid once (one satellite class); FleetRE is the
+	// learning-discounted recurring cost of all units; FleetTCO the sum.
+	FleetNRE units.Dollars
+	FleetRE  units.Dollars
+	FleetTCO units.Dollars
+	// Utilization is used power over installed power across the fleet.
+	Utilization float64
+}
+
+// Size computes the per-application compute power demands.
+func (p Plan) Size() ([]Allocation, error) {
+	if len(p.Demands) == 0 {
+		return nil, errors.New("planner: no demands")
+	}
+	if err := p.Constellation.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Allocation, 0, len(p.Demands))
+	for _, d := range p.Demands {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		pw, err := p.Constellation.RequiredComputePower(d.App, 1)
+		if err != nil {
+			return nil, err
+		}
+		gain := d.EfficiencyGain
+		if gain == 0 {
+			gain = 1
+		}
+		out = append(out, Allocation{
+			App:   d.App.Name,
+			Power: units.Power(float64(pw) * d.Coverage / gain),
+		})
+	}
+	return out, nil
+}
+
+// Pack runs the full plan: size demands, first-fit-decreasing pack them
+// into SuDCClass-sized satellites (splitting demands larger than one
+// satellite), and price the fleet.
+func (p Plan) Pack() (Result, error) {
+	if p.SuDCClass <= 0 {
+		return Result{}, errors.New("planner: SµDC class must be positive")
+	}
+	perApp, err := p.Size()
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Split any demand larger than one satellite into class-sized chunks.
+	type chunk struct {
+		app   string
+		power units.Power
+	}
+	var chunks []chunk
+	for _, a := range perApp {
+		rest := a.Power
+		for rest > p.SuDCClass {
+			chunks = append(chunks, chunk{a.App, p.SuDCClass})
+			rest -= p.SuDCClass
+		}
+		if rest > 0 {
+			chunks = append(chunks, chunk{a.App, rest})
+		}
+	}
+	sort.SliceStable(chunks, func(i, j int) bool { return chunks[i].power > chunks[j].power })
+
+	// First-fit decreasing.
+	var sudcs []SuDCLoad
+	for _, c := range chunks {
+		placed := false
+		for i := range sudcs {
+			if sudcs[i].Free >= c.power {
+				sudcs[i].Allocations = append(sudcs[i].Allocations, Allocation{c.app, c.power})
+				sudcs[i].Used += c.power
+				sudcs[i].Free = p.SuDCClass - sudcs[i].Used
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			sudcs = append(sudcs, SuDCLoad{
+				Index:       len(sudcs),
+				Allocations: []Allocation{{c.app, c.power}},
+				Used:        c.power,
+				Free:        p.SuDCClass - c.power,
+			})
+		}
+	}
+
+	// Price the fleet: one NRE for the class, learning-discounted REs.
+	cfg := p.BaseConfig
+	cfg.ComputePower = p.SuDCClass
+	b, err := cfg.Breakdown()
+	if err != nil {
+		return Result{}, err
+	}
+	tot := b.Total()
+	curve := p.Learning
+	if curve.ProgressRatio == 0 {
+		curve = wright.Curve{ProgressRatio: 1}
+	}
+	re, err := curve.CumulativeCost(tot.RE, len(sudcs))
+	if err != nil {
+		return Result{}, err
+	}
+
+	var used units.Power
+	for _, s := range sudcs {
+		used += s.Used
+	}
+	installed := float64(p.SuDCClass) * float64(len(sudcs))
+	util := 0.0
+	if installed > 0 {
+		util = float64(used) / installed
+	}
+
+	return Result{
+		PerApp:      perApp,
+		SuDCs:       sudcs,
+		FleetNRE:    tot.NRE,
+		FleetRE:     re,
+		FleetTCO:    tot.NRE + re,
+		Utilization: util,
+	}, nil
+}

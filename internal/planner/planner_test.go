@@ -1,0 +1,218 @@
+package planner
+
+import (
+	"testing"
+
+	"sudc/internal/constellation"
+	"sudc/internal/units"
+	"sudc/internal/workload"
+)
+
+func demandsFor(t *testing.T, names ...string) []Demand {
+	t.Helper()
+	out := make([]Demand, 0, len(names))
+	for _, n := range names {
+		a, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Demand{App: a, Coverage: 1})
+	}
+	return out
+}
+
+func TestDemandValidate(t *testing.T) {
+	good := demandsFor(t, "Flood Detection")[0]
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Coverage = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero coverage must error")
+	}
+	bad = good
+	bad.Coverage = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("coverage > 1 must error")
+	}
+	bad = good
+	bad.EfficiencyGain = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative gain must error")
+	}
+	bad = good
+	bad.App.GPUPower = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid app must error")
+	}
+}
+
+func TestSizeMatchesConstellationMath(t *testing.T) {
+	p := DefaultPlan(constellation.Default64, demandsFor(t, "Flood Detection"))
+	per, err := p.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 288 Mpix/s ÷ 307 kpix/J ≈ 938 W.
+	if got := per[0].Power.Watts(); got < 900 || got > 1000 {
+		t.Errorf("Flood Detection demand = %.0f W, want ≈938", got)
+	}
+}
+
+func TestCoverageAndGainScaleDemand(t *testing.T) {
+	base := DefaultPlan(constellation.Default64, demandsFor(t, "Flood Detection"))
+	full, _ := base.Size()
+
+	half := base
+	half.Demands = demandsFor(t, "Flood Detection")
+	half.Demands[0].Coverage = 0.5
+	h, _ := half.Size()
+	if !units.ApproxEqual(float64(h[0].Power), float64(full[0].Power)/2, 1e-9) {
+		t.Error("coverage must scale demand linearly")
+	}
+
+	accel := base
+	accel.Demands = demandsFor(t, "Flood Detection")
+	accel.Demands[0].EfficiencyGain = 58
+	a, _ := accel.Size()
+	if !units.ApproxEqual(float64(a[0].Power), float64(full[0].Power)/58, 1e-9) {
+		t.Error("efficiency gain must divide demand")
+	}
+}
+
+func TestPackSingleSmallDemand(t *testing.T) {
+	p := DefaultPlan(constellation.Default64, demandsFor(t, "Traffic Monitoring"))
+	r, err := p.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SuDCs) != 1 {
+		t.Errorf("lightest app should fit one SµDC, got %d", len(r.SuDCs))
+	}
+	if r.FleetTCO != r.FleetNRE+r.FleetRE {
+		t.Error("fleet TCO must be NRE + RE")
+	}
+}
+
+func TestPackFullSuiteMatchesTableIIIScale(t *testing.T) {
+	// Running the whole Table III suite at full coverage on 4 kW GPUs:
+	// Panoptic alone needs ~3.6 satellites of power; the mix packs into
+	// a handful of SµDCs.
+	names := make([]string, len(workload.Suite))
+	for i, a := range workload.Suite {
+		names[i] = a.Name
+	}
+	p := DefaultPlan(constellation.Default64, demandsFor(t, names...))
+	r, err := p.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SuDCs) < 4 || len(r.SuDCs) > 8 {
+		t.Errorf("full suite packs into %d SµDCs, want 4-8", len(r.SuDCs))
+	}
+	// Conservation: allocations sum to the per-app demands.
+	var allocSum, demandSum float64
+	for _, s := range r.SuDCs {
+		for _, a := range s.Allocations {
+			allocSum += float64(a.Power)
+		}
+		if s.Used+s.Free != p.SuDCClass {
+			t.Errorf("SµDC %d: used+free != class", s.Index)
+		}
+	}
+	for _, a := range r.PerApp {
+		demandSum += float64(a.Power)
+	}
+	if !units.ApproxEqual(allocSum, demandSum, 1e-9) {
+		t.Errorf("allocated %v != demanded %v", allocSum, demandSum)
+	}
+	if r.Utilization <= 0 || r.Utilization > 1 {
+		t.Errorf("utilization = %v out of (0,1]", r.Utilization)
+	}
+}
+
+func TestAcceleratorFleetShrinks(t *testing.T) {
+	names := make([]string, len(workload.Suite))
+	for i, a := range workload.Suite {
+		names[i] = a.Name
+	}
+	gpu := DefaultPlan(constellation.Default64, demandsFor(t, names...))
+	gpuR, err := gpu.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	accel := DefaultPlan(constellation.Default64, demandsFor(t, names...))
+	for i := range accel.Demands {
+		accel.Demands[i].EfficiencyGain = 58
+	}
+	accelR, err := accel.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accelR.SuDCs) >= len(gpuR.SuDCs) {
+		t.Errorf("accelerators (%d SµDCs) must shrink the GPU fleet (%d)",
+			len(accelR.SuDCs), len(gpuR.SuDCs))
+	}
+	if accelR.FleetTCO >= gpuR.FleetTCO {
+		t.Error("accelerator fleet must cost less")
+	}
+}
+
+func TestLearningDiscountsFleet(t *testing.T) {
+	names := []string{"Panoptic Segmentation", "Flood Detection", "Oil Spill Monitoring"}
+	withLearning := DefaultPlan(constellation.Default64, demandsFor(t, names...))
+	rL, err := withLearning.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noLearning := DefaultPlan(constellation.Default64, demandsFor(t, names...))
+	noLearning.Learning.ProgressRatio = 1
+	rN, err := noLearning.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rL.SuDCs) < 2 {
+		t.Skip("need a multi-satellite fleet for this check")
+	}
+	if rL.FleetRE >= rN.FleetRE {
+		t.Error("learning must discount a multi-unit fleet")
+	}
+	if rL.FleetNRE != rN.FleetNRE {
+		t.Error("learning must not change NRE")
+	}
+}
+
+func TestPackErrors(t *testing.T) {
+	p := DefaultPlan(constellation.Default64, nil)
+	if _, err := p.Pack(); err == nil {
+		t.Error("no demands must error")
+	}
+	p = DefaultPlan(constellation.Default64, demandsFor(t, "Flood Detection"))
+	p.SuDCClass = 0
+	if _, err := p.Pack(); err == nil {
+		t.Error("zero class must error")
+	}
+	p = DefaultPlan(constellation.Constellation{}, demandsFor(t, "Flood Detection"))
+	if _, err := p.Pack(); err == nil {
+		t.Error("invalid constellation must error")
+	}
+	p = DefaultPlan(constellation.Default64, demandsFor(t, "Flood Detection"))
+	p.BaseConfig.Lifetime = 0
+	if _, err := p.Pack(); err == nil {
+		t.Error("invalid base config must error")
+	}
+}
+
+func TestOversizedDemandSplits(t *testing.T) {
+	// Panoptic Segmentation at full coverage needs ≈3.6 satellites of
+	// power: the planner must split it across ≥4 class-sized chunks.
+	p := DefaultPlan(constellation.Default64, demandsFor(t, "Panoptic Segmentation"))
+	r, err := p.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SuDCs) != 4 {
+		t.Errorf("panoptic packs into %d SµDCs, want 4 (Table III)", len(r.SuDCs))
+	}
+}

@@ -1,0 +1,119 @@
+// Package propulsion sizes a SµDC's propulsion subsystem: propellant mass
+// via the Tsiolkovsky rocket equation, tank and thruster dry mass, and the
+// thruster catalog (monopropellant, bipropellant, and electric options the
+// paper contrasts when comparing SSCM-SµDC with SEER-Space).
+//
+// Note: the paper's text prints the rocket equation as
+// m_fuel = m_dry(1 + e^{Δv/vₑ}); the correct Tsiolkovsky form, which we
+// implement, is m_fuel = m_dry(e^{Δv/vₑ} − 1). The two agree to first order
+// in Δv/vₑ minus a constant; the printed form is a typo (it would demand
+// twice the dry mass in propellant even for Δv = 0).
+package propulsion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sudc/internal/units"
+)
+
+// Thruster describes a propulsion technology.
+type Thruster struct {
+	Name string
+	// SpecificImpulse in seconds.
+	SpecificImpulse float64
+	// ThrusterMass is the dry mass of the thruster assembly itself.
+	ThrusterMass units.Mass
+	// TankageFraction is tank+plumbing mass as a fraction of propellant.
+	TankageFraction float64
+	// PowerDraw is the electrical draw while thrusting (significant only
+	// for electric propulsion).
+	PowerDraw units.Power
+	// UnitCost is the recurring thruster hardware cost.
+	UnitCost units.Dollars
+}
+
+// Thruster catalog. SSCM-SµDC is "designed around conventional
+// monopropellant and bipropellant chemical thrusters" (paper §II);
+// IonThruster is included to reproduce the SEER-Space accounting contrast.
+var (
+	Monopropellant = Thruster{
+		Name:            "hydrazine monopropellant",
+		SpecificImpulse: 220,
+		ThrusterMass:    2.5,
+		TankageFraction: 0.12,
+		PowerDraw:       20,
+		UnitCost:        250e3,
+	}
+	Bipropellant = Thruster{
+		Name:            "MMH/NTO bipropellant",
+		SpecificImpulse: 310,
+		ThrusterMass:    5,
+		TankageFraction: 0.15,
+		PowerDraw:       40,
+		UnitCost:        600e3,
+	}
+	IonThruster = Thruster{
+		Name:            "gridded ion",
+		SpecificImpulse: 2500,
+		ThrusterMass:    8,
+		TankageFraction: 0.10,
+		PowerDraw:       1500,
+		UnitCost:        1.2e6,
+	}
+)
+
+// ExhaustVelocity returns vₑ = Isp·g₀ in m/s.
+func (t Thruster) ExhaustVelocity() units.Velocity {
+	return units.Velocity(t.SpecificImpulse * units.StandardGravity)
+}
+
+// PropellantFor returns the propellant mass to give dry mass mDry a total
+// impulse of dv: m_p = m_dry(e^{Δv/vₑ} − 1).
+func (t Thruster) PropellantFor(mDry units.Mass, dv units.Velocity) (units.Mass, error) {
+	if mDry < 0 {
+		return 0, errors.New("propulsion: negative dry mass")
+	}
+	if dv < 0 {
+		return 0, errors.New("propulsion: negative Δv")
+	}
+	ve := float64(t.ExhaustVelocity())
+	if ve <= 0 {
+		return 0, fmt.Errorf("propulsion: thruster %q has no exhaust velocity", t.Name)
+	}
+	return units.Mass(float64(mDry) * (math.Exp(float64(dv)/ve) - 1)), nil
+}
+
+// Design is the sized propulsion subsystem for one mission.
+type Design struct {
+	Thruster Thruster
+	// Propellant is the loaded propellant mass.
+	Propellant units.Mass
+	// TankMass is tank and feed-system mass.
+	TankMass units.Mass
+	// DryMass is thruster + tanks (excludes propellant).
+	DryMass units.Mass
+	// HardwareCost is the recurring propulsion hardware cost.
+	HardwareCost units.Dollars
+}
+
+// WetMass returns dry subsystem mass plus propellant.
+func (d Design) WetMass() units.Mass { return d.DryMass + d.Propellant }
+
+// Size designs the propulsion subsystem to deliver dv to a satellite whose
+// dry mass (including this subsystem's own dry mass) is mDry.
+func Size(t Thruster, mDry units.Mass, dv units.Velocity) (Design, error) {
+	prop, err := t.PropellantFor(mDry, dv)
+	if err != nil {
+		return Design{}, err
+	}
+	tank := units.Mass(t.TankageFraction * float64(prop))
+	return Design{
+		Thruster:     t,
+		Propellant:   prop,
+		TankMass:     tank,
+		DryMass:      t.ThrusterMass + tank,
+		HardwareCost: t.UnitCost + units.Dollars(float64(prop)*800), // ~$800/kg loaded propellant & loading ops
+	}, nil
+}

@@ -1,0 +1,122 @@
+package propulsion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sudc/internal/units"
+)
+
+func TestExhaustVelocity(t *testing.T) {
+	// 220 s × 9.80665 ≈ 2157 m/s.
+	ve := float64(Monopropellant.ExhaustVelocity())
+	if math.Abs(ve-220*9.80665) > 1e-9 {
+		t.Errorf("vₑ = %v, want %v", ve, 220*9.80665)
+	}
+}
+
+func TestTsiolkovskyZeroDv(t *testing.T) {
+	// Δv = 0 must need zero propellant — this is exactly what the paper's
+	// misprinted equation (1 + e^{Δv/vₑ}) would get wrong.
+	m, err := Monopropellant.PropellantFor(500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 0 {
+		t.Errorf("zero Δv propellant = %v, want 0", m)
+	}
+}
+
+func TestTsiolkovskyKnownPoint(t *testing.T) {
+	// Δv = vₑ·ln2 doubles the wet mass: propellant = dry mass.
+	ve := float64(Bipropellant.ExhaustVelocity())
+	dv := units.Velocity(ve * math.Ln2)
+	m, err := Bipropellant.PropellantFor(1000, dv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(float64(m), 1000, 1e-12) {
+		t.Errorf("propellant at Δv=vₑln2 = %v, want 1000", m)
+	}
+}
+
+func TestPropellantErrors(t *testing.T) {
+	if _, err := Monopropellant.PropellantFor(-1, 10); err == nil {
+		t.Error("negative dry mass must error")
+	}
+	if _, err := Monopropellant.PropellantFor(100, -1); err == nil {
+		t.Error("negative Δv must error")
+	}
+	bad := Thruster{Name: "broken"}
+	if _, err := bad.PropellantFor(100, 10); err == nil {
+		t.Error("zero Isp must error")
+	}
+}
+
+func TestHigherIspNeedsLessPropellant(t *testing.T) {
+	const dry = 800
+	const dv = 250
+	mono, _ := Monopropellant.PropellantFor(dry, dv)
+	bi, _ := Bipropellant.PropellantFor(dry, dv)
+	ion, _ := IonThruster.PropellantFor(dry, dv)
+	if !(mono > bi && bi > ion) {
+		t.Errorf("propellant must fall with Isp: mono=%v bi=%v ion=%v", mono, bi, ion)
+	}
+}
+
+func TestSizeComposition(t *testing.T) {
+	d, err := Size(Monopropellant, 800, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DryMass != Monopropellant.ThrusterMass+d.TankMass {
+		t.Error("dry mass must be thruster + tanks")
+	}
+	if d.WetMass() != d.DryMass+d.Propellant {
+		t.Error("wet mass must be dry + propellant")
+	}
+	wantTank := units.Mass(Monopropellant.TankageFraction * float64(d.Propellant))
+	if !units.ApproxEqual(float64(d.TankMass), float64(wantTank), 1e-12) {
+		t.Errorf("tank mass = %v, want %v", d.TankMass, wantTank)
+	}
+	if d.HardwareCost <= Monopropellant.UnitCost {
+		t.Error("hardware cost must exceed bare thruster cost when propellant loaded")
+	}
+}
+
+func TestSizeError(t *testing.T) {
+	if _, err := Size(Monopropellant, -5, 100); err == nil {
+		t.Error("negative dry mass must error")
+	}
+}
+
+func TestPropellantLinearInDryMass(t *testing.T) {
+	f := func(raw uint16) bool {
+		dry := units.Mass(1 + float64(raw))
+		m1, err1 := Monopropellant.PropellantFor(dry, 150)
+		m2, err2 := Monopropellant.PropellantFor(2*dry, 150)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return units.ApproxEqual(float64(m2), 2*float64(m1), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropellantMonotoneInDv(t *testing.T) {
+	f := func(raw uint8) bool {
+		dv := units.Velocity(float64(raw))
+		m1, err1 := Bipropellant.PropellantFor(500, dv)
+		m2, err2 := Bipropellant.PropellantFor(500, dv+5)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return m2 > m1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package solar sizes the electrical power subsystem (EPS) of a SµDC:
+// solar array area and mass for a required end-of-life load, battery
+// capacity for eclipse operation, and power management & distribution
+// (PMAD) overheads.
+//
+// The paper's TCO model increases the required power-generation capacity of
+// the satellite by the power cost of computation, derives beginning-of-life
+// (BOL) power from end-of-life (EOL) power using the solar-cell technology
+// and an orbit-specific degradation rate (≤3 %/yr), and propagates the
+// resulting array and battery mass into the structural, ADCS and propulsion
+// sizing. This package implements those derivations.
+package solar
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sudc/internal/orbit"
+	"sudc/internal/units"
+)
+
+// CellTechnology describes a photovoltaic cell technology.
+type CellTechnology struct {
+	Name string
+	// Efficiency is the BOL cell conversion efficiency (0–1).
+	Efficiency float64
+	// AnnualDegradation is the fractional efficiency loss per year
+	// (the paper: "generally ≤3 % annual loss").
+	AnnualDegradation float64
+	// InherentDegradation covers packing factor, wiring, temperature and
+	// pointing losses between cell and array output (typical ~0.77).
+	InherentDegradation float64
+	// SpecificPower is array-level W/kg at BOL including substrate and
+	// deployment mechanism.
+	SpecificPower units.SpecificPower
+	// CostPerWatt is the recurring array cost in $/W(BOL).
+	CostPerWatt units.Dollars
+}
+
+// Standard cell technologies.
+var (
+	// TripleJunctionGaAs is the modern smallsat default.
+	TripleJunctionGaAs = CellTechnology{
+		Name:                "triple-junction GaAs",
+		Efficiency:          0.295,
+		AnnualDegradation:   0.0275,
+		InherentDegradation: 0.77,
+		SpecificPower:       55,
+		CostPerWatt:         400,
+	}
+	// Silicon is the legacy low-cost option.
+	Silicon = CellTechnology{
+		Name:                "silicon",
+		Efficiency:          0.17,
+		AnnualDegradation:   0.0375,
+		InherentDegradation: 0.77,
+		SpecificPower:       45,
+		CostPerWatt:         150,
+	}
+)
+
+// BatteryTechnology describes secondary-battery characteristics.
+type BatteryTechnology struct {
+	Name string
+	// SpecificEnergy in Wh/kg.
+	SpecificEnergy float64
+	// DepthOfDischarge is the allowed DoD for the required cycle life
+	// (LEO means ~30k cycles over 5 years, so DoD is kept low).
+	DepthOfDischarge float64
+	// RoundTripEfficiency of charge/discharge.
+	RoundTripEfficiency float64
+	// CostPerWh is recurring cost in $/Wh.
+	CostPerWh units.Dollars
+}
+
+// LithiumIon is the modern default battery technology.
+var LithiumIon = BatteryTechnology{
+	Name:                "lithium-ion",
+	SpecificEnergy:      150,
+	DepthOfDischarge:    0.30,
+	RoundTripEfficiency: 0.90,
+	CostPerWh:           80,
+}
+
+// Config collects the EPS design inputs.
+type Config struct {
+	Cell    CellTechnology
+	Battery BatteryTechnology
+	Orbit   orbit.Orbit
+	// Lifetime is the mission duration that BOL sizing must cover.
+	Lifetime units.Years
+	// PMADMassFraction is the mass of regulators/harness as a fraction of
+	// array+battery mass.
+	PMADMassFraction float64
+	// PMADEfficiency is the end-to-end distribution efficiency.
+	PMADEfficiency float64
+}
+
+// DefaultConfig returns the configuration used for the paper's reference
+// designs: GaAs cells, Li-ion batteries, a 550 km EO orbit, 5-year life.
+func DefaultConfig() Config {
+	return Config{
+		Cell:             TripleJunctionGaAs,
+		Battery:          LithiumIon,
+		Orbit:            orbit.DefaultEO,
+		Lifetime:         5,
+		PMADMassFraction: 0.20,
+		PMADEfficiency:   0.95,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cell.Efficiency <= 0 || c.Cell.Efficiency >= 1 {
+		return fmt.Errorf("solar: cell efficiency %v out of (0,1)", c.Cell.Efficiency)
+	}
+	if c.Battery.DepthOfDischarge <= 0 || c.Battery.DepthOfDischarge > 1 {
+		return errors.New("solar: battery depth of discharge out of (0,1]")
+	}
+	if c.Lifetime <= 0 {
+		return errors.New("solar: lifetime must be positive")
+	}
+	if c.PMADEfficiency <= 0 || c.PMADEfficiency > 1 {
+		return errors.New("solar: PMAD efficiency out of (0,1]")
+	}
+	return nil
+}
+
+// Design is the sized EPS.
+type Design struct {
+	// EOLLoad is the continuous load the EPS must supply at end of life.
+	EOLLoad units.Power
+	// BOLArrayPower is the array output that must be installed at BOL.
+	BOLArrayPower units.Power
+	// ArrayArea is the solar array area.
+	ArrayArea units.Area
+	// ArrayMass, BatteryMass, PMADMass are subsystem masses.
+	ArrayMass   units.Mass
+	BatteryMass units.Mass
+	PMADMass    units.Mass
+	// BatteryCapacity is the installed battery energy.
+	BatteryCapacity units.Energy
+	// HardwareCost is the recurring EPS hardware cost.
+	HardwareCost units.Dollars
+}
+
+// TotalMass returns the EPS mass.
+func (d Design) TotalMass() units.Mass {
+	return d.ArrayMass + d.BatteryMass + d.PMADMass
+}
+
+// LifetimeDegradation returns the fraction of BOL array output remaining
+// after the configured lifetime: (1-d)^L.
+func (c Config) LifetimeDegradation() float64 {
+	return math.Pow(1-c.Cell.AnnualDegradation, float64(c.Lifetime))
+}
+
+// Size designs an EPS that can deliver the given continuous load at end of
+// life, through eclipse, for the configured orbit and lifetime.
+//
+// The array must supply, while in sun: the load itself, the battery
+// recharge for the next eclipse (inflated by round-trip efficiency), and
+// PMAD losses; and it must still do so after lifetime degradation.
+func (c Config) Size(eolLoad units.Power) (Design, error) {
+	if err := c.Validate(); err != nil {
+		return Design{}, err
+	}
+	if eolLoad < 0 {
+		return Design{}, errors.New("solar: negative load")
+	}
+
+	fe := c.Orbit.EclipseFraction()
+	fs := 1 - fe
+
+	// Energy balance per orbit at EOL: array (in sun) covers sun-side load
+	// plus eclipse-side load routed through the battery.
+	// P_array_eol * fs = load*fs + load*fe/η_battery, all over η_PMAD.
+	load := float64(eolLoad)
+	arrayEOL := (load*fs + load*fe/c.Battery.RoundTripEfficiency) / fs / c.PMADEfficiency
+
+	// BOL array output accounting for lifetime degradation.
+	arrayBOL := arrayEOL / c.LifetimeDegradation()
+
+	// Area from cell efficiency and inherent degradation.
+	area := arrayBOL / (units.SolarConstant * c.Cell.Efficiency * c.Cell.InherentDegradation)
+
+	// Battery stores one eclipse worth of load energy at the allowed DoD.
+	eclipseSeconds := c.Orbit.Period() * fe
+	eclipseEnergy := load * eclipseSeconds
+	capacity := eclipseEnergy / c.Battery.DepthOfDischarge
+
+	arrayMass := c.Cell.SpecificPower.MassFor(units.Power(arrayBOL))
+	batteryMass := units.Mass(capacity / 3600 / c.Battery.SpecificEnergy)
+	pmadMass := units.Mass(c.PMADMassFraction * float64(arrayMass+batteryMass))
+
+	cost := units.Dollars(arrayBOL*float64(c.Cell.CostPerWatt) +
+		capacity/3600*float64(c.Battery.CostPerWh))
+
+	return Design{
+		EOLLoad:         eolLoad,
+		BOLArrayPower:   units.Power(arrayBOL),
+		ArrayArea:       units.Area(area),
+		ArrayMass:       arrayMass,
+		BatteryMass:     batteryMass,
+		PMADMass:        pmadMass,
+		BatteryCapacity: units.Energy(capacity),
+		HardwareCost:    cost,
+	}, nil
+}
+
+// RTG describes a radioisotope thermoelectric generator — the "nuclear
+// battery" option the paper notes for distant missions [63]. RTGs deliver
+// continuous power with no eclipse battery, but at miserable specific
+// power and extreme cost, which is why LEO SµDCs are solar.
+type RTG struct {
+	Name string
+	// SpecificPower is electrical W per kg at beginning of life.
+	SpecificPower units.SpecificPower
+	// AnnualDecay is the isotope+thermocouple output decay per year.
+	AnnualDecay float64
+	// CostPerWatt is recurring cost per BOL electrical watt.
+	CostPerWatt units.Dollars
+}
+
+// GPHSClass is a GPHS-RTG-class generator (≈300 W, ≈55 kg, Pu-238).
+var GPHSClass = RTG{
+	Name:          "GPHS-RTG class",
+	SpecificPower: 5.4,
+	AnnualDecay:   0.008,
+	CostPerWatt:   400e3,
+}
+
+// SizeRTG designs an RTG power subsystem for a continuous end-of-life
+// load over the given lifetime. No battery is needed (the source does not
+// eclipse), but BOL output must cover the decay.
+func SizeRTG(r RTG, eolLoad units.Power, lifetime units.Years) (Design, error) {
+	if eolLoad < 0 {
+		return Design{}, errors.New("solar: negative load")
+	}
+	if lifetime <= 0 {
+		return Design{}, errors.New("solar: lifetime must be positive")
+	}
+	if r.SpecificPower <= 0 {
+		return Design{}, errors.New("solar: RTG needs positive specific power")
+	}
+	remaining := math.Pow(1-r.AnnualDecay, float64(lifetime))
+	bol := float64(eolLoad) / remaining
+	return Design{
+		EOLLoad:       eolLoad,
+		BOLArrayPower: units.Power(bol),
+		ArrayMass:     r.SpecificPower.MassFor(units.Power(bol)),
+		HardwareCost:  units.Dollars(bol * float64(r.CostPerWatt)),
+	}, nil
+}

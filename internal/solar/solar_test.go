@@ -1,0 +1,212 @@
+package solar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sudc/internal/units"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadInputs(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero efficiency", func(c *Config) { c.Cell.Efficiency = 0 }},
+		{"efficiency > 1", func(c *Config) { c.Cell.Efficiency = 1.2 }},
+		{"zero DoD", func(c *Config) { c.Battery.DepthOfDischarge = 0 }},
+		{"zero lifetime", func(c *Config) { c.Lifetime = 0 }},
+		{"zero PMAD eff", func(c *Config) { c.PMADEfficiency = 0 }},
+	}
+	for _, tt := range tests {
+		c := DefaultConfig()
+		tt.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tt.name)
+		}
+	}
+}
+
+func TestSizeRejectsNegativeLoad(t *testing.T) {
+	if _, err := DefaultConfig().Size(units.Power(-1)); err == nil {
+		t.Error("expected error for negative load")
+	}
+}
+
+func TestLifetimeDegradation(t *testing.T) {
+	c := DefaultConfig()
+	got := c.LifetimeDegradation()
+	want := math.Pow(1-0.0275, 5)
+	if !units.ApproxEqual(got, want, 1e-12) {
+		t.Errorf("degradation = %v, want %v", got, want)
+	}
+	// Longer lifetime → more degradation → more BOL power required.
+	c10 := c
+	c10.Lifetime = 10
+	if c10.LifetimeDegradation() >= got {
+		t.Error("degradation factor must shrink with lifetime")
+	}
+}
+
+func TestBOLExceedsEOLLoad(t *testing.T) {
+	d, err := DefaultConfig().Size(units.KW(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eclipse recharge + degradation + PMAD means BOL array ≫ load.
+	ratio := float64(d.BOLArrayPower) / float64(d.EOLLoad)
+	if ratio < 1.3 || ratio > 2.5 {
+		t.Errorf("BOL/EOL ratio = %.2f, want in [1.3, 2.5]", ratio)
+	}
+}
+
+func TestFourKWDesignPlausible(t *testing.T) {
+	d, err := DefaultConfig().Size(units.KW(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~4 kW EOL load with GaAs: array of roughly 15-30 m².
+	if a := d.ArrayArea.SquareMeters(); a < 10 || a > 40 {
+		t.Errorf("array area = %.1f m², want 10-40", a)
+	}
+	// Array mass via 80 W/kg: ~70-120 kg.
+	if m := d.ArrayMass.Kilograms(); m < 50 || m > 150 {
+		t.Errorf("array mass = %.1f kg, want 50-150", m)
+	}
+	// Battery: one ~36 min eclipse of 4 kW at 30% DoD ≈ 8 kWh → ~55 kg.
+	if m := d.BatteryMass.Kilograms(); m < 30 || m > 100 {
+		t.Errorf("battery mass = %.1f kg, want 30-100", m)
+	}
+	if d.HardwareCost <= 0 {
+		t.Error("hardware cost must be positive")
+	}
+	if got := d.TotalMass(); got != d.ArrayMass+d.BatteryMass+d.PMADMass {
+		t.Errorf("TotalMass inconsistent: %v", got)
+	}
+}
+
+func TestSizeLinearity(t *testing.T) {
+	// The EPS model is linear in load: doubling load doubles everything.
+	c := DefaultConfig()
+	d1, _ := c.Size(units.KW(2))
+	d2, _ := c.Size(units.KW(4))
+	if !units.ApproxEqual(2*float64(d1.BOLArrayPower), float64(d2.BOLArrayPower), 1e-9) {
+		t.Error("BOL power not linear in load")
+	}
+	if !units.ApproxEqual(2*float64(d1.TotalMass()), float64(d2.TotalMass()), 1e-9) {
+		t.Error("EPS mass not linear in load")
+	}
+}
+
+func TestSiliconHeavierThanGaAs(t *testing.T) {
+	ga := DefaultConfig()
+	si := DefaultConfig()
+	si.Cell = Silicon
+	dGa, _ := ga.Size(units.KW(4))
+	dSi, _ := si.Size(units.KW(4))
+	if dSi.ArrayMass <= dGa.ArrayMass {
+		t.Error("silicon array should be heavier than GaAs for same load")
+	}
+	if dSi.ArrayArea <= dGa.ArrayArea {
+		t.Error("silicon array should be larger than GaAs for same load")
+	}
+}
+
+func TestLongerLifetimeNeedsBiggerArray(t *testing.T) {
+	c5 := DefaultConfig()
+	c10 := DefaultConfig()
+	c10.Lifetime = 10
+	d5, _ := c5.Size(units.KW(4))
+	d10, _ := c10.Size(units.KW(4))
+	if d10.BOLArrayPower <= d5.BOLArrayPower {
+		t.Error("10-yr mission must install more BOL power than 5-yr")
+	}
+}
+
+func TestZeroLoadZeroDesign(t *testing.T) {
+	d, err := DefaultConfig().Size(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TotalMass() != 0 || d.BOLArrayPower != 0 || d.HardwareCost != 0 {
+		t.Errorf("zero load must produce zero design, got %+v", d)
+	}
+}
+
+func TestSizeMonotoneProperty(t *testing.T) {
+	c := DefaultConfig()
+	f := func(raw uint16) bool {
+		load := units.Power(10 + float64(raw)) // 10 W .. ~65 kW
+		d1, err1 := c.Size(load)
+		d2, err2 := c.Size(load + 100)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return d2.BOLArrayPower > d1.BOLArrayPower &&
+			d2.TotalMass() > d1.TotalMass() &&
+			d2.HardwareCost > d1.HardwareCost
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeRTG(t *testing.T) {
+	d, err := SizeRTG(GPHSClass, units.Power(300), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decay over 5 years means BOL > EOL.
+	if d.BOLArrayPower <= d.EOLLoad {
+		t.Error("RTG BOL output must exceed EOL load")
+	}
+	// GPHS class: ~300 W needs ~56 kg and >$100M.
+	if m := d.ArrayMass.Kilograms(); m < 40 || m > 80 {
+		t.Errorf("RTG mass = %.0f kg, want ≈56", m)
+	}
+	if d.HardwareCost < 100e6 {
+		t.Errorf("RTG cost = %v, want >$100M (why LEO SµDCs are solar)", d.HardwareCost)
+	}
+	// No battery: the source never eclipses.
+	if d.BatteryMass != 0 || d.BatteryCapacity != 0 {
+		t.Error("RTG design needs no battery")
+	}
+}
+
+func TestSizeRTGErrors(t *testing.T) {
+	if _, err := SizeRTG(GPHSClass, -1, 5); err == nil {
+		t.Error("negative load must error")
+	}
+	if _, err := SizeRTG(GPHSClass, 100, 0); err == nil {
+		t.Error("zero lifetime must error")
+	}
+	if _, err := SizeRTG(RTG{}, 100, 5); err == nil {
+		t.Error("zero specific power must error")
+	}
+}
+
+func TestRTGVsSolarTradeoff(t *testing.T) {
+	// At LEO loads, solar hardware is orders of magnitude cheaper per
+	// watt; the RTG's only advantage is eclipse-free operation.
+	sol, err := DefaultConfig().Size(units.Power(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtg, err := SizeRTG(GPHSClass, units.Power(300), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(rtg.HardwareCost) < 50*float64(sol.HardwareCost) {
+		t.Error("RTG must be dramatically costlier than solar at LEO")
+	}
+	if rtg.ArrayArea != 0 {
+		t.Error("RTG has no array area")
+	}
+}

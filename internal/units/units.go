@@ -1,0 +1,249 @@
+// Package units defines the physical quantity types shared by every model
+// in the repository, together with the handful of physical constants the
+// paper's derivations rely on.
+//
+// Quantities are defined as distinct float64 types so that, for example, a
+// power cannot be silently passed where a mass is expected. Arithmetic that
+// crosses dimensions goes through explicit helper functions (Energy over
+// time, radiated flux over area, …) which keeps unit errors out of the
+// higher-level models.
+package units
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Physical constants.
+const (
+	// StefanBoltzmann is σ in W·m⁻²·K⁻⁴.
+	StefanBoltzmann = 5.670374419e-8
+
+	// SolarConstant is the solar irradiance at 1 AU in W/m².
+	SolarConstant = 1361.0
+
+	// EarthMu is Earth's gravitational parameter in m³/s².
+	EarthMu = 3.986004418e14
+
+	// EarthRadius is Earth's mean equatorial radius in meters.
+	EarthRadius = 6.3781e6
+
+	// SpaceBackgroundTemp is the cosmic microwave background temperature
+	// in kelvin — the radiative sink for a deep-space-facing radiator.
+	SpaceBackgroundTemp = 2.7
+
+	// StandardGravity is g₀ in m/s², used to convert specific impulse to
+	// exhaust velocity.
+	StandardGravity = 9.80665
+)
+
+// Power is electrical or thermal power in watts.
+type Power float64
+
+// Power helpers.
+const (
+	Watt     Power = 1
+	Kilowatt Power = 1e3
+	Megawatt Power = 1e6
+)
+
+// KW returns a power of kw kilowatts.
+func KW(kw float64) Power { return Power(kw * 1e3) }
+
+// Kilowatts reports the power in kilowatts.
+func (p Power) Kilowatts() float64 { return float64(p) / 1e3 }
+
+// Watts reports the power in watts.
+func (p Power) Watts() float64 { return float64(p) }
+
+func (p Power) String() string {
+	switch {
+	case math.Abs(float64(p)) >= 1e6:
+		return fmt.Sprintf("%.3g MW", float64(p)/1e6)
+	case math.Abs(float64(p)) >= 1e3:
+		return fmt.Sprintf("%.3g kW", float64(p)/1e3)
+	default:
+		return fmt.Sprintf("%.3g W", float64(p))
+	}
+}
+
+// Mass is mass in kilograms.
+type Mass float64
+
+// Kg returns a mass of kg kilograms.
+func Kg(kg float64) Mass { return Mass(kg) }
+
+// Kilograms reports the mass in kilograms.
+func (m Mass) Kilograms() float64 { return float64(m) }
+
+func (m Mass) String() string {
+	if math.Abs(float64(m)) >= 1e3 {
+		return fmt.Sprintf("%.3g t", float64(m)/1e3)
+	}
+	return fmt.Sprintf("%.3g kg", float64(m))
+}
+
+// Area is area in square meters.
+type Area float64
+
+// SquareMeters reports the area in m².
+func (a Area) SquareMeters() float64 { return float64(a) }
+
+func (a Area) String() string { return fmt.Sprintf("%.3g m²", float64(a)) }
+
+// Temperature is absolute temperature in kelvin.
+type Temperature float64
+
+// Celsius returns the absolute temperature for a Celsius reading.
+func Celsius(c float64) Temperature { return Temperature(c + 273.15) }
+
+// Kelvin reports the temperature in kelvin.
+func (t Temperature) Kelvin() float64 { return float64(t) }
+
+// ToCelsius reports the temperature in degrees Celsius.
+func (t Temperature) ToCelsius() float64 { return float64(t) - 273.15 }
+
+func (t Temperature) String() string { return fmt.Sprintf("%.4g K", float64(t)) }
+
+// Energy is energy in joules.
+type Energy float64
+
+// Joules reports the energy in joules.
+func (e Energy) Joules() float64 { return float64(e) }
+
+// WattHours reports the energy in watt-hours.
+func (e Energy) WattHours() float64 { return float64(e) / 3600 }
+
+// EnergyOver returns the energy delivered by power p over duration d.
+func EnergyOver(p Power, d time.Duration) Energy {
+	return Energy(float64(p) * d.Seconds())
+}
+
+// Dollars is monetary cost in US dollars (fiscal-year-fixed).
+type Dollars float64
+
+// MUSD returns m million dollars.
+func MUSD(m float64) Dollars { return Dollars(m * 1e6) }
+
+// Millions reports the cost in millions of dollars.
+func (d Dollars) Millions() float64 { return float64(d) / 1e6 }
+
+func (d Dollars) String() string {
+	v := float64(d)
+	switch {
+	case math.Abs(v) >= 1e9:
+		return fmt.Sprintf("$%.3gB", v/1e9)
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("$%.3gM", v/1e6)
+	case math.Abs(v) >= 1e3:
+		return fmt.Sprintf("$%.3gk", v/1e3)
+	default:
+		return fmt.Sprintf("$%.3g", v)
+	}
+}
+
+// DataRate is a channel capacity in bits per second.
+type DataRate float64
+
+// DataRate helpers.
+const (
+	BitPerSecond DataRate = 1
+	Kbps         DataRate = 1e3
+	Mbps         DataRate = 1e6
+	Gbps         DataRate = 1e9
+	Tbps         DataRate = 1e12
+)
+
+// GbpsOf returns a data rate of g gigabits per second.
+func GbpsOf(g float64) DataRate { return DataRate(g * 1e9) }
+
+// Gigabits reports the rate in Gbit/s.
+func (r DataRate) Gigabits() float64 { return float64(r) / 1e9 }
+
+func (r DataRate) String() string {
+	v := float64(r)
+	switch {
+	case math.Abs(v) >= 1e9:
+		return fmt.Sprintf("%.3g Gbit/s", v/1e9)
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.3g Mbit/s", v/1e6)
+	case math.Abs(v) >= 1e3:
+		return fmt.Sprintf("%.3g kbit/s", v/1e3)
+	default:
+		return fmt.Sprintf("%.3g bit/s", v)
+	}
+}
+
+// Dose is accumulated ionizing radiation dose in krad(Si).
+type Dose float64
+
+// Krad reports the dose in krad(Si).
+func (d Dose) Krad() float64 { return float64(d) }
+
+func (d Dose) String() string { return fmt.Sprintf("%.3g krad(Si)", float64(d)) }
+
+// Velocity is speed in m/s (used for Δv budgets and exhaust velocities).
+type Velocity float64
+
+// MetersPerSecond reports the velocity in m/s.
+func (v Velocity) MetersPerSecond() float64 { return float64(v) }
+
+func (v Velocity) String() string { return fmt.Sprintf("%.4g m/s", float64(v)) }
+
+// Years is a duration in Julian years, the natural unit for mission
+// lifetimes and degradation rates.
+type Years float64
+
+// Duration converts a year count to a time.Duration.
+func (y Years) Duration() time.Duration {
+	return time.Duration(float64(y) * 365.25 * 24 * float64(time.Hour))
+}
+
+// Seconds reports the duration in seconds.
+func (y Years) Seconds() float64 { return float64(y) * 365.25 * 24 * 3600 }
+
+func (y Years) String() string { return fmt.Sprintf("%.3g yr", float64(y)) }
+
+// SpecificPower is power per unit mass in W/kg, the figure of merit for
+// solar arrays and packaged compute.
+type SpecificPower float64
+
+// MassFor returns the mass needed to supply power p at this specific power.
+func (s SpecificPower) MassFor(p Power) Mass {
+	if s <= 0 {
+		return 0
+	}
+	return Mass(float64(p) / float64(s))
+}
+
+// ArealDensity is mass per unit area in kg/m² (radiator and array panels).
+type ArealDensity float64
+
+// MassFor returns the mass of area a of panel at this areal density.
+func (d ArealDensity) MassFor(a Area) Mass { return Mass(float64(d) * float64(a)) }
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lerp linearly interpolates between a and b by t in [0,1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// ApproxEqual reports whether a and b agree to within rel relative
+// tolerance (or 1e-12 absolute for values near zero).
+func ApproxEqual(a, b, rel float64) bool {
+	d := math.Abs(a - b)
+	if d <= 1e-12 {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return d/den <= rel
+}

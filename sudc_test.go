@@ -1,0 +1,77 @@
+package sudc
+
+import (
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	cfg := Config(4 * Kilowatt)
+	d, err := Design(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.WetMass <= 0 {
+		t.Error("design must have mass")
+	}
+	b, err := d.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TCO() <= 0 {
+		t.Error("TCO must be positive")
+	}
+	// Convenience entry points agree with the two-step flow.
+	v, err := TCO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != b.TCO() {
+		t.Errorf("TCO() = %v, Design+Cost = %v", v, b.TCO())
+	}
+	bd, err := Breakdown(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.TCO() != v {
+		t.Error("Breakdown TCO mismatch")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if KW(4) != 4*Kilowatt {
+		t.Error("KW helper mismatch")
+	}
+	if Gbps(25).Gigabits() != 25 {
+		t.Error("Gbps helper mismatch")
+	}
+}
+
+func TestExperimentsExposed(t *testing.T) {
+	all := Experiments()
+	if len(all) != 25 {
+		t.Fatalf("have %d experiments, want 25", len(all))
+	}
+	tbl, err := RunExperiment("Table III")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 10 {
+		t.Errorf("Table III rows = %d, want 10", len(tbl.Rows))
+	}
+	if _, err := RunExperiment("Figure 0"); err == nil {
+		t.Error("unknown exhibit must error")
+	}
+}
+
+func TestInvalidConfigSurfacesError(t *testing.T) {
+	cfg := Config(0)
+	if _, err := Design(cfg); err == nil {
+		t.Error("zero power must error")
+	}
+	if _, err := TCO(cfg); err == nil {
+		t.Error("zero power must error through TCO")
+	}
+	if _, err := Breakdown(cfg); err == nil {
+		t.Error("zero power must error through Breakdown")
+	}
+}
