@@ -12,7 +12,12 @@ import (
 	"sync"
 	"testing"
 
+	"sudc/internal/accel"
+	"sudc/internal/dse"
 	"sudc/internal/experiments"
+	"sudc/internal/par"
+	"sudc/internal/reliability"
+	"sudc/internal/workload"
 )
 
 // printOnce prints each exhibit a single time per bench run, not once per
@@ -121,6 +126,42 @@ func BenchmarkDSE(b *testing.B) {
 		if _, err := experiments.DSEResult(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchWorkers are the scaling points tracked PR over PR.
+var benchWorkers = []int{1, 2, 4, 8}
+
+// BenchmarkDSEParallel measures the uncached 7168-design exploration at
+// fixed worker counts, so the engine's scaling is visible in every bench
+// run regardless of the machine's GOMAXPROCS.
+func BenchmarkDSEParallel(b *testing.B) {
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := par.SetDefaultWorkers(w)
+			defer par.SetDefaultWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				if _, err := dse.Explore(workload.Suite, accel.RTX3090Baseline); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMonteCarloParallel measures the sharded reliability
+// Monte-Carlo at fixed worker counts.
+func BenchmarkMonteCarloParallel(b *testing.B) {
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := par.SetDefaultWorkers(w)
+			defer par.SetDefaultWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				if _, _, err := reliability.Simulate(30, 10, 1.25, 200000, 42); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

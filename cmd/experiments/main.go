@@ -8,6 +8,11 @@
 //	experiments -only "Figure 5"
 //	experiments -ablations  # run the design-choice ablation studies
 //	experiments -extensions # run the beyond-the-paper extension studies
+//	experiments -parallel   # run independent exhibits concurrently
+//	experiments -parallel -workers 4
+//
+// -parallel produces byte-identical output to a serial run for any
+// worker count; only wall-clock time changes.
 package main
 
 import (
@@ -34,6 +39,8 @@ func run(args []string, out io.Writer) error {
 	only := fs.String("only", "", "run a single exhibit by ID (e.g. \"Figure 5\")")
 	ablations := fs.Bool("ablations", false, "run the design-choice ablation studies instead")
 	extensions := fs.Bool("extensions", false, "run the beyond-the-paper extension studies instead")
+	parallel := fs.Bool("parallel", false, "run independent exhibits concurrently (identical output)")
+	workers := fs.Int("workers", 0, "worker count for -parallel (default GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,6 +75,18 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	if *parallel {
+		// Collect every table before printing so output is byte-identical
+		// to the serial path regardless of completion order.
+		tables, err := experiments.RunAll(toRun, *workers)
+		if err != nil {
+			return err
+		}
+		for _, tbl := range tables {
+			fmt.Fprintln(out, tbl)
+		}
+		return nil
+	}
 	for _, e := range toRun {
 		tbl, err := e.Run()
 		if err != nil {

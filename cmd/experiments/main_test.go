@@ -59,6 +59,22 @@ func TestAblationsFlag(t *testing.T) {
 	}
 }
 
+func TestParallelGoldenOutput(t *testing.T) {
+	// -parallel must render byte-identical output to the serial run, for
+	// any worker count, across paper exhibits and extensions alike.
+	serial := runCmd(t)
+	for _, w := range []string{"1", "2", "8"} {
+		got := runCmd(t, "-parallel", "-workers", w)
+		if got != serial {
+			t.Errorf("-parallel -workers %s output differs from serial run", w)
+		}
+	}
+	serialExt := runCmd(t, "-extensions")
+	if got := runCmd(t, "-extensions", "-parallel"); got != serialExt {
+		t.Error("-extensions -parallel output differs from serial run")
+	}
+}
+
 func TestBadFlag(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-bogus"}, &b); err == nil {

@@ -1,0 +1,74 @@
+package sudc
+
+// Determinism contract of the parallel evaluation engine: every sweep,
+// Monte-Carlo run, and experiment table must be identical for any worker
+// count. The engine (internal/par) guarantees ordering; these tests pin
+// the end-to-end property across the whole evaluation.
+
+import (
+	"strings"
+	"testing"
+
+	"sudc/internal/experiments"
+	"sudc/internal/par"
+)
+
+// renderAll runs every paper exhibit through the parallel runner and
+// concatenates the rendered tables.
+func renderAll(t *testing.T, workers int) string {
+	t.Helper()
+	tables, err := experiments.RunAll(experiments.All(), workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, tbl := range tables {
+		b.WriteString(tbl.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestExperimentsInvariantUnderWorkerCount(t *testing.T) {
+	ref := renderAll(t, 1)
+	if ref == "" {
+		t.Fatal("no rendered output")
+	}
+	for _, w := range []int{2, 8} {
+		if got := renderAll(t, w); got != ref {
+			t.Errorf("workers=%d: rendered experiment output differs from workers=1", w)
+		}
+	}
+}
+
+func TestExtensionsInvariantUnderWorkerCount(t *testing.T) {
+	// Extensions exercise the Monte-Carlo paths (maintenance simulation)
+	// on top of the analytic sweeps, so they pin the forked-stream
+	// discipline as well.
+	render := func(workers int) string {
+		t.Helper()
+		tables, err := experiments.RunAll(experiments.Extensions(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, tbl := range tables {
+			b.WriteString(tbl.String())
+		}
+		return b.String()
+	}
+	ref := render(1)
+	for _, w := range []int{2, 8} {
+		if got := render(w); got != ref {
+			t.Errorf("workers=%d: rendered extension output differs from workers=1", w)
+		}
+	}
+}
+
+func TestDefaultWorkerOverrideRoundTrips(t *testing.T) {
+	prev := par.SetDefaultWorkers(3)
+	if par.DefaultWorkers() != 3 {
+		t.Errorf("DefaultWorkers = %d after override, want 3", par.DefaultWorkers())
+	}
+	par.SetDefaultWorkers(prev)
+}

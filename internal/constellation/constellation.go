@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"sudc/internal/core"
+	"sudc/internal/par"
 	"sudc/internal/units"
 	"sudc/internal/workload"
 )
@@ -157,4 +158,13 @@ func TCOImprovement(base core.Config, filterRate, e float64) (float64, error) {
 		return 0, errors.New("constellation: non-positive collaborative TCO")
 	}
 	return float64(baseTCO) / float64(collabTCO), nil
+}
+
+// ImprovementSweep evaluates TCOImprovement across a filtering-rate grid
+// in parallel, returning one improvement factor per φ in input order —
+// the sweep behind the paper's Figures 19 and 21.
+func ImprovementSweep(base core.Config, filterRates []float64, e float64) ([]float64, error) {
+	return par.MapErr(filterRates, func(phi float64) (float64, error) {
+		return TCOImprovement(base, phi, e)
+	})
 }

@@ -201,3 +201,24 @@ func TestTCOImprovementPropagatesErrors(t *testing.T) {
 		t.Error("invalid base config must error")
 	}
 }
+
+func TestImprovementSweepMatchesSerial(t *testing.T) {
+	base := core.DefaultConfig(units.KW(4))
+	phis := []float64{0, 1.0 / 3, 0.5, 2.0 / 3}
+	got, err := ImprovementSweep(base, phis, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, phi := range phis {
+		want, err := TCOImprovement(base, phi, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Errorf("φ=%.2f: sweep %.6f != serial %.6f", phi, got[i], want)
+		}
+	}
+	if _, err := ImprovementSweep(base, []float64{0.5, 1.5}, 1); err == nil {
+		t.Error("out-of-range φ must error")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sudc/internal/fso"
 	"sudc/internal/hardware"
 	"sudc/internal/orbit"
+	"sudc/internal/par"
 	"sudc/internal/propulsion"
 	"sudc/internal/solar"
 	"sudc/internal/sscm"
@@ -383,6 +384,18 @@ func (c Config) Breakdown() (sscm.Breakdown, error) {
 		return sscm.Breakdown{}, err
 	}
 	return d.Cost()
+}
+
+// SweepTCO evaluates the TCO of each configuration across the shared
+// parallel engine, returning results in input order. It is the substrate
+// for the power/lifetime/φ grid sweeps the experiment figures iterate.
+func SweepTCO(cfgs []Config) ([]units.Dollars, error) {
+	return par.MapErr(cfgs, func(c Config) (units.Dollars, error) { return c.TCO() })
+}
+
+// SweepBreakdown mirrors SweepTCO for full cost breakdowns.
+func SweepBreakdown(cfgs []Config) ([]sscm.Breakdown, error) {
+	return par.MapErr(cfgs, func(c Config) (sscm.Breakdown, error) { return c.Breakdown() })
 }
 
 // MassItem is one row of a design's mass budget.

@@ -6,6 +6,7 @@ import (
 
 	"sudc/internal/compress"
 	"sudc/internal/hardware"
+	"sudc/internal/par"
 	"sudc/internal/solar"
 	"sudc/internal/sscm"
 	"sudc/internal/units"
@@ -424,5 +425,51 @@ func TestDecodePowerRefinement(t *testing.T) {
 	noISLBase.OmitISL = true
 	if mustTCO(t, noISL) != mustTCO(t, noISLBase) {
 		t.Error("decode power must not apply without a link")
+	}
+}
+
+func TestSweepTCOMatchesSerial(t *testing.T) {
+	cfgs := []Config{
+		DefaultConfig(units.KW(0.5)),
+		DefaultConfig(units.KW(2)),
+		DefaultConfig(units.KW(4)),
+		DefaultConfig(units.KW(10)),
+	}
+	got, err := SweepTCO(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cfgs) {
+		t.Fatalf("sweep returned %d results for %d configs", len(got), len(cfgs))
+	}
+	for i, c := range cfgs {
+		want, err := c.TCO()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Errorf("config %d: sweep TCO %v != serial TCO %v", i, got[i], want)
+		}
+	}
+	for _, w := range []int{1, 2, 8} {
+		prev := par.SetDefaultWorkers(w)
+		again, err := SweepTCO(cfgs)
+		par.SetDefaultWorkers(prev)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range got {
+			if again[i] != got[i] {
+				t.Errorf("workers=%d: result %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestSweepBreakdownPropagatesErrors(t *testing.T) {
+	bad := DefaultConfig(units.KW(4))
+	bad.ComputePower = -1
+	if _, err := SweepBreakdown([]Config{DefaultConfig(units.KW(4)), bad}); err == nil {
+		t.Error("invalid config in sweep must error")
 	}
 }

@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"sudc/internal/accel"
+	"sudc/internal/par"
 	"sudc/internal/workload"
 )
 
@@ -36,8 +38,9 @@ var (
 // SpaceSize is the number of designs in the exploration.
 const SpaceSize = 7 * 8 * 4 * 4 * 8
 
-// Space enumerates the full design space in deterministic order.
-func Space() []accel.Config {
+// space materializes the full design space once; Explore and Space share
+// the cached slice, which must never be mutated.
+var space = sync.OnceValue(func() []accel.Config {
 	out := make([]accel.Config, 0, SpaceSize)
 	for _, px := range peXOptions {
 		for _, py := range peYOptions {
@@ -54,6 +57,15 @@ func Space() []accel.Config {
 			}
 		}
 	}
+	return out
+})
+
+// Space enumerates the full design space in deterministic order. The
+// returned slice is the caller's to mutate.
+func Space() []accel.Config {
+	s := space()
+	out := make([]accel.Config, len(s))
+	copy(out, s)
 	return out
 }
 
@@ -168,10 +180,10 @@ func Explore(apps []workload.App, gpu accel.GPUModel) (Result, error) {
 	}
 	sort.Slice(nets, func(i, j int) bool { return nets[i].net.Name < nets[j].net.Name })
 
-	space := Space()
+	space := space()
 
-	// layerEnergies[c][k] = energy (J) of design c on global layer k;
-	// layers are the concatenation of all networks' layers.
+	// layers is the concatenation of all networks' layers; refs maps each
+	// global layer back to its network.
 	type layerRef struct {
 		netIdx int
 	}
@@ -183,19 +195,46 @@ func Explore(apps []workload.App, gpu accel.GPUModel) (Result, error) {
 			refs = append(refs, layerRef{netIdx: ni})
 		}
 	}
-
 	nLayers := len(layers)
+
+	// Layer energy depends only on the layer's shape, and roughly half the
+	// suite's layers share a shape with another layer; memoize per unique
+	// shape so each (design, shape) pair is evaluated exactly once and the
+	// Global/Per-Network/Per-Layer selections below all read the same
+	// matrix instead of re-sweeping the space.
+	shapes := make([]workload.Layer, 0, nLayers)
+	shapeIdx := make([]int, nLayers)
+	seenShapes := map[workload.Layer]int{}
+	for li, l := range layers {
+		key := l
+		key.Name = ""
+		si, ok := seenShapes[key]
+		if !ok {
+			si = len(shapes)
+			seenShapes[key] = si
+			shapes = append(shapes, l)
+		}
+		shapeIdx[li] = si
+	}
+
+	// energies[c][s] = energy (J) of design c on unique shape s. Each
+	// design's row is independent, so the sweep parallelizes over designs.
 	energies := make([][]float64, len(space))
-	for ci, cfg := range space {
-		row := make([]float64, nLayers)
-		for li, l := range layers {
+	err := par.ForNErr(len(space), func(ci int) error {
+		cfg := space[ci]
+		row := make([]float64, len(shapes))
+		for si, l := range shapes {
 			e, err := cfg.LayerEnergy(l)
 			if err != nil {
-				return Result{}, fmt.Errorf("dse: %s on %s: %w", cfg.Name, l.Name, err)
+				return fmt.Errorf("dse: %s on %s: %w", cfg.Name, l.Name, err)
 			}
-			row[li] = e.Joules()
+			row[si] = e.Joules()
 		}
 		energies[ci] = row
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 
 	// Global optimum: minimize geomean energy across all layers (the
@@ -205,7 +244,7 @@ func Explore(apps []workload.App, gpu accel.GPUModel) (Result, error) {
 	for ci := range space {
 		var logSum float64
 		for li := 0; li < nLayers; li++ {
-			logSum += math.Log(energies[ci][li])
+			logSum += math.Log(energies[ci][shapeIdx[li]])
 		}
 		if logSum < bestGlobalScore {
 			bestGlobalScore = logSum
@@ -224,7 +263,7 @@ func Explore(apps []workload.App, gpu accel.GPUModel) (Result, error) {
 	for ci := range space {
 		sums := make([]float64, len(nets))
 		for li := 0; li < nLayers; li++ {
-			sums[refs[li].netIdx] += energies[ci][li]
+			sums[refs[li].netIdx] += energies[ci][shapeIdx[li]]
 		}
 		for ni := range nets {
 			if sums[ni] < perNetScore[ni] {
@@ -237,8 +276,8 @@ func Explore(apps []workload.App, gpu accel.GPUModel) (Result, error) {
 	for li := 0; li < nLayers; li++ {
 		min := math.Inf(1)
 		for ci := range space {
-			if energies[ci][li] < min {
-				min = energies[ci][li]
+			if e := energies[ci][shapeIdx[li]]; e < min {
+				min = e
 			}
 		}
 		perLayerMin[li] = min
@@ -251,8 +290,8 @@ func Explore(apps []workload.App, gpu accel.GPUModel) (Result, error) {
 	perLayerJ := make([]float64, len(nets))
 	for li := 0; li < nLayers; li++ {
 		ni := refs[li].netIdx
-		globalJ[ni] += energies[bestGlobal][li]
-		perNetJ[ni] += energies[perNetBest[ni]][li]
+		globalJ[ni] += energies[bestGlobal][shapeIdx[li]]
+		perNetJ[ni] += energies[perNetBest[ni]][shapeIdx[li]]
 		perLayerJ[ni] += perLayerMin[li]
 	}
 	for ni, nw := range nets {

@@ -1,10 +1,12 @@
 package dse
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
 	"sudc/internal/accel"
+	"sudc/internal/par"
 	"sudc/internal/workload"
 )
 
@@ -129,6 +131,33 @@ func TestPerNetworkConfigsAreHeterogeneous(t *testing.T) {
 	}
 	if len(distinct) < 4 {
 		t.Errorf("only %d distinct per-network designs; expected real heterogeneity", len(distinct))
+	}
+}
+
+func TestSpaceReturnsIndependentCopies(t *testing.T) {
+	a, b := Space(), Space()
+	a[0].Name = "mutated"
+	a[0].PEX = 999
+	if b[0].Name == "mutated" || b[0].PEX == 999 {
+		t.Fatal("mutating one Space() result leaked into another")
+	}
+	if c := Space(); c[0].Name == "mutated" {
+		t.Fatal("mutation leaked into the cached space")
+	}
+}
+
+func TestExploreInvariantUnderWorkerCount(t *testing.T) {
+	ref := explore(t)
+	for _, w := range []int{1, 2, 8} {
+		prev := par.SetDefaultWorkers(w)
+		r, err := Explore(workload.Suite, accel.RTX3090Baseline)
+		par.SetDefaultWorkers(prev)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(ref, r) {
+			t.Errorf("workers=%d: exploration result differs from default-worker run", w)
+		}
 	}
 }
 

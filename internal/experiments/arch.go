@@ -86,21 +86,16 @@ func Fig8() (Table, error) {
 	return t, nil
 }
 
-// The 7168-design exploration takes ~2 s; share one run across Fig17,
-// Fig21 and any caller that needs the architecture efficiency factors.
-var (
-	dseOnce sync.Once
-	dseRes  dse.Result
-	dseErr  error
-)
+// The 7168-design exploration is the repo's most expensive computation;
+// share one run across Fig17, Fig21 and any caller that needs the
+// architecture efficiency factors. Explore itself parallelizes over the
+// design space, so concurrent first callers just wait on one sweep.
+var dseResult = sync.OnceValues(func() (dse.Result, error) {
+	return dse.Explore(workload.Suite, accel.RTX3090Baseline)
+})
 
 // DSEResult returns the cached full design-space exploration.
-func DSEResult() (dse.Result, error) {
-	dseOnce.Do(func() {
-		dseRes, dseErr = dse.Explore(workload.Suite, accel.RTX3090Baseline)
-	})
-	return dseRes, dseErr
-}
+func DSEResult() (dse.Result, error) { return dseResult() }
 
 // Fig17 reproduces Figure 17: per-network energy-efficiency gains of the
 // Global, Per-Network and Per-Layer accelerator architectures over the

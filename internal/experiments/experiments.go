@@ -11,6 +11,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"sudc/internal/par"
 )
 
 // Table is a rendered experiment: a titled grid of string cells.
@@ -118,6 +120,21 @@ func All() []Experiment {
 		{"Figure 27", "soft-error impact on ImageNet ANNs", Fig27},
 		{"Figure 28", "TCO of redundancy schemes", Fig28},
 	}
+}
+
+// RunAll executes the experiments concurrently over the shared parallel
+// engine and returns their tables in input order, so rendered output is
+// byte-identical to a serial run for any worker count. workers ≤ 0 uses
+// the engine default (GOMAXPROCS). The first failing exhibit (lowest
+// index among those observed) aborts the run.
+func RunAll(exps []Experiment, workers int) ([]Table, error) {
+	return par.MapErr(exps, func(e Experiment) (Table, error) {
+		t, err := e.Run()
+		if err != nil {
+			return Table{}, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		return t, nil
+	}, par.Workers(workers))
 }
 
 // ByID finds an experiment by its exhibit ID.

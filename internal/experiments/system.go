@@ -28,16 +28,21 @@ func Fig19() (Table, error) {
 		Title:  "relative TCO vs edge filtering rate (baseline: 4 kW SµDC)",
 		Header: []string{"filter rate", "SµDC compute", "relative TCO"},
 	}
-	for _, phi := range []float64{0, 0.1, 0.25, 1.0 / 3, 0.5, 2.0 / 3, 0.8, 0.9} {
+	phis := []float64{0, 0.1, 0.25, 1.0 / 3, 0.5, 2.0 / 3, 0.8, 0.9}
+	cfgs := make([]core.Config, len(phis))
+	for i, phi := range phis {
 		cfg, err := constellation.CollaborativeConfig(base, phi, 1)
 		if err != nil {
 			return Table{}, err
 		}
-		v, err := cfg.TCO()
-		if err != nil {
-			return Table{}, err
-		}
-		t.AddRow(f2(phi), cfg.ComputePower.String(), f2(float64(v)/float64(ref)))
+		cfgs[i] = cfg
+	}
+	tcos, err := core.SweepTCO(cfgs)
+	if err != nil {
+		return Table{}, err
+	}
+	for i, phi := range phis {
+		t.AddRow(f2(phi), cfgs[i].ComputePower.String(), f2(float64(tcos[i])/float64(ref)))
 	}
 	return t, nil
 }
@@ -68,11 +73,11 @@ func Fig21() (Table, error) {
 	}
 	for _, a := range archs {
 		row := []string{a.name, f1(a.e)}
-		for _, phi := range []float64{1.0 / 3, 0.5, 2.0 / 3} {
-			imp, err := constellation.TCOImprovement(base, phi, a.e)
-			if err != nil {
-				return Table{}, err
-			}
+		imps, err := constellation.ImprovementSweep(base, []float64{1.0 / 3, 0.5, 2.0 / 3}, a.e)
+		if err != nil {
+			return Table{}, err
+		}
+		for _, imp := range imps {
 			row = append(row, f2(imp)+"×")
 		}
 		t.AddRow(row...)
@@ -271,19 +276,27 @@ func Fig28() (Table, error) {
 		Title:  "relative TCO of redundancy schemes (baseline: unprotected, per power level)",
 		Header: []string{"equivalent power", "TMR", "DMR", "software"},
 	}
-	for _, kw := range []float64{0.5, 1, 2, 4} {
-		base, err := core.DefaultConfig(units.KW(kw)).TCO()
-		if err != nil {
-			return Table{}, err
+	// One parallel sweep over the power × scheme grid, with each power's
+	// unprotected baseline leading its stripe.
+	powers := []float64{0.5, 1, 2, 4}
+	schemes := reliability.Schemes()
+	stride := 1 + len(schemes)
+	cfgs := make([]core.Config, 0, len(powers)*stride)
+	for _, kw := range powers {
+		cfgs = append(cfgs, core.DefaultConfig(units.KW(kw)))
+		for _, s := range schemes {
+			cfgs = append(cfgs, core.DefaultConfig(units.Power(kw*1000*s.PowerOverhead)))
 		}
+	}
+	tcos, err := core.SweepTCO(cfgs)
+	if err != nil {
+		return Table{}, err
+	}
+	for ki, kw := range powers {
+		base := tcos[ki*stride]
 		row := []string{fmt.Sprintf("%.1f kW", kw)}
-		for _, s := range reliability.Schemes() {
-			c := core.DefaultConfig(units.Power(kw * 1000 * s.PowerOverhead))
-			v, err := c.TCO()
-			if err != nil {
-				return Table{}, err
-			}
-			row = append(row, f2(float64(v)/float64(base)))
+		for si := range schemes {
+			row = append(row, f2(float64(tcos[ki*stride+1+si])/float64(base)))
 		}
 		t.AddRow(row...)
 	}

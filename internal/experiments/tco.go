@@ -75,28 +75,34 @@ func Fig3() (Table, error) {
 }
 
 // Fig4 reproduces Figure 4: TCO vs lifetime for 0.5/4/10 kW SµDCs,
-// relative to the 500 W SµDC with a one-year lifetime.
+// relative to the 500 W SµDC with a one-year lifetime. The 19-point
+// lifetime × power grid is evaluated in one parallel sweep.
 func Fig4() (Table, error) {
+	years := []int{1, 2, 3, 5, 7, 10}
 	base := core.DefaultConfig(units.KW(0.5))
 	base.Lifetime = 1
-	ref, err := base.TCO()
+	cfgs := []core.Config{base} // index 0 is the baseline
+	for _, yr := range years {
+		for _, p := range referencePowers {
+			c := core.DefaultConfig(p)
+			c.Lifetime = units.Years(yr)
+			cfgs = append(cfgs, c)
+		}
+	}
+	tcos, err := core.SweepTCO(cfgs)
 	if err != nil {
 		return Table{}, err
 	}
+	ref := tcos[0]
 	t := Table{
 		ID:     "Figure 4",
 		Title:  "relative TCO vs lifetime (baseline: 500 W, 1 yr)",
 		Header: []string{"lifetime (yr)", "500 W", "4 kW", "10 kW"},
 	}
-	for _, yr := range []int{1, 2, 3, 5, 7, 10} {
+	for yi, yr := range years {
 		row := []string{fmt.Sprintf("%d", yr)}
-		for _, p := range referencePowers {
-			c := core.DefaultConfig(p)
-			c.Lifetime = units.Years(yr)
-			v, err := c.TCO()
-			if err != nil {
-				return Table{}, err
-			}
+		for pi := range referencePowers {
+			v := tcos[1+yi*len(referencePowers)+pi]
 			row = append(row, f2(float64(v)/float64(ref)))
 		}
 		t.AddRow(row...)
@@ -188,18 +194,16 @@ func Fig7() (Table, error) {
 		Title:  "TCO increase vs ISL data rate (relative to a no-ISL SµDC)",
 		Header: []string{"ISL rate", "500 W", "4 kW", "10 kW"},
 	}
-	bases := make(map[units.Power]float64)
+	// One parallel sweep: the three no-ISL baselines followed by the
+	// rate × power grid.
+	rates := []float64{0, 5, 10, 25, 50, 100, 200}
+	cfgs := make([]core.Config, 0, len(referencePowers)*(len(rates)+1))
 	for _, p := range referencePowers {
 		c := core.DefaultConfig(p)
 		c.OmitISL = true
-		v, err := c.TCO()
-		if err != nil {
-			return Table{}, err
-		}
-		bases[p] = float64(v)
+		cfgs = append(cfgs, c)
 	}
-	for _, g := range []float64{0, 5, 10, 25, 50, 100, 200} {
-		row := []string{fmt.Sprintf("%.0f Gbit/s", g)}
+	for _, g := range rates {
 		for _, p := range referencePowers {
 			c := core.DefaultConfig(p)
 			if g == 0 {
@@ -207,11 +211,19 @@ func Fig7() (Table, error) {
 			} else {
 				c.ISLRate = units.GbpsOf(g)
 			}
-			v, err := c.TCO()
-			if err != nil {
-				return Table{}, err
-			}
-			row = append(row, pct(float64(v)/bases[p]-1))
+			cfgs = append(cfgs, c)
+		}
+	}
+	tcos, err := core.SweepTCO(cfgs)
+	if err != nil {
+		return Table{}, err
+	}
+	for gi, g := range rates {
+		row := []string{fmt.Sprintf("%.0f Gbit/s", g)}
+		for pi := range referencePowers {
+			base := float64(tcos[pi])
+			v := tcos[len(referencePowers)*(1+gi)+pi]
+			row = append(row, pct(float64(v)/base-1))
 		}
 		t.AddRow(row...)
 	}

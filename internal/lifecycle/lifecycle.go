@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 
+	"sudc/internal/par"
 	"sudc/internal/reliability"
 	"sudc/internal/units"
 	"sudc/internal/wright"
@@ -120,9 +121,91 @@ type SimResult struct {
 	MeanOperational float64
 }
 
+// simulateTrial runs one program trial against a caller-owned RNG and
+// returns (satellites built, availability fraction, mean operational).
+func (p Policy) simulateTrial(rng *rand.Rand) (built int, avail, meanOp float64) {
+	horizon := float64(p.Horizon)
+	const dt = 1.0 / 52 // weekly steps
+
+	// ages of flying satellites; pending holds replacement arrival times.
+	fleet := make([]float64, p.fleetSize())
+	built = len(fleet)
+	var pending []float64
+	steps := 0
+	availSteps := 0
+	opSum := 0.0
+	for t := 0.0; t < horizon; t += dt {
+		// Deliver arrivals.
+		var stillPending []float64
+		for _, at := range pending {
+			if at <= t {
+				fleet = append(fleet, 0)
+			} else {
+				stillPending = append(stillPending, at)
+			}
+		}
+		pending = stillPending
+		// Age, retire, and randomly fail.
+		var alive []float64
+		for _, age := range fleet {
+			age += dt
+			if age >= float64(p.DesignLifetime) {
+				continue // scheduled retirement
+			}
+			if p.EarlyFailureMTTF > 0 && rng.Float64() < dt/float64(p.EarlyFailureMTTF) {
+				continue // early loss
+			}
+			alive = append(alive, age)
+		}
+		fleet = alive
+		// Order replacements up to the maintained size. Scheduled
+		// retirements are known in advance, so count only satellites
+		// that will still be flying when an ordered unit arrives.
+		surviving := 0
+		for _, age := range fleet {
+			if age+float64(p.ReplacementLeadTime) < float64(p.DesignLifetime) {
+				surviving++
+			}
+		}
+		deficit := p.fleetSize() - surviving - len(pending)
+		for i := 0; i < deficit; i++ {
+			pending = append(pending, t+float64(p.ReplacementLeadTime))
+			built++
+		}
+		steps++
+		if len(fleet) >= p.Target {
+			availSteps++
+		}
+		opSum += float64(len(fleet))
+	}
+	return built, float64(availSteps) / float64(steps), opSum / float64(steps)
+}
+
+// trialResult is one trial's contribution to the SimResult means.
+type trialResult struct {
+	units, avail, op float64
+}
+
+func (p Policy) aggregate(parts []trialResult) SimResult {
+	var totalUnits, totalAvail, totalOp float64
+	for _, r := range parts {
+		totalUnits += r.units
+		totalAvail += r.avail
+		totalOp += r.op
+	}
+	n := float64(len(parts))
+	return SimResult{
+		UnitsBuilt:      totalUnits / n,
+		Availability:    totalAvail / n,
+		MeanOperational: totalOp / n,
+	}
+}
+
 // Simulate runs trials of the program: satellites retire at their design
 // lifetime or fail early (exponential), replacements arrive after the
-// lead time, and the fleet is topped back up to Target+Spares.
+// lead time, and the fleet is topped back up to Target+Spares. Each
+// trial draws from its own RNG stream forked from the seed, so trials
+// run in parallel and the result is identical for any worker count.
 func (p Policy) Simulate(trials int, seed int64) (SimResult, error) {
 	if err := p.Validate(); err != nil {
 		return SimResult{}, err
@@ -130,72 +213,32 @@ func (p Policy) Simulate(trials int, seed int64) (SimResult, error) {
 	if trials < 1 {
 		return SimResult{}, errors.New("lifecycle: trials must be ≥ 1")
 	}
-	rng := rand.New(rand.NewSource(seed))
-	horizon := float64(p.Horizon)
-	const dt = 1.0 / 52 // weekly steps
+	parts := make([]trialResult, trials)
+	par.ForN(trials, func(tr int) {
+		b, a, o := p.simulateTrial(par.ForkRand(seed, tr))
+		parts[tr] = trialResult{units: float64(b), avail: a, op: o}
+	})
+	return p.aggregate(parts), nil
+}
 
-	var totalUnits, totalAvail, totalOp float64
-	for tr := 0; tr < trials; tr++ {
-		// ages of flying satellites; arrivals[t] = replacements in build.
-		fleet := make([]float64, p.fleetSize())
-		built := len(fleet)
-		var pending []float64 // arrival times of ordered replacements
-		steps := 0
-		availSteps := 0
-		opSum := 0.0
-		for t := 0.0; t < horizon; t += dt {
-			// Deliver arrivals.
-			var stillPending []float64
-			for _, at := range pending {
-				if at <= t {
-					fleet = append(fleet, 0)
-				} else {
-					stillPending = append(stillPending, at)
-				}
-			}
-			pending = stillPending
-			// Age, retire, and randomly fail.
-			var alive []float64
-			for _, age := range fleet {
-				age += dt
-				if age >= float64(p.DesignLifetime) {
-					continue // scheduled retirement
-				}
-				if p.EarlyFailureMTTF > 0 && rng.Float64() < dt/float64(p.EarlyFailureMTTF) {
-					continue // early loss
-				}
-				alive = append(alive, age)
-			}
-			fleet = alive
-			// Order replacements up to the maintained size. Scheduled
-			// retirements are known in advance, so count only satellites
-			// that will still be flying when an ordered unit arrives.
-			surviving := 0
-			for _, age := range fleet {
-				if age+float64(p.ReplacementLeadTime) < float64(p.DesignLifetime) {
-					surviving++
-				}
-			}
-			deficit := p.fleetSize() - surviving - len(pending)
-			for i := 0; i < deficit; i++ {
-				pending = append(pending, t+float64(p.ReplacementLeadTime))
-				built++
-			}
-			steps++
-			if len(fleet) >= p.Target {
-				availSteps++
-			}
-			opSum += float64(len(fleet))
-		}
-		totalUnits += float64(built)
-		totalAvail += float64(availSteps) / float64(steps)
-		totalOp += opSum / float64(steps)
+// SimulateRand runs the trials serially against an injected RNG — the
+// convenience path for callers composing their own stream discipline.
+func (p Policy) SimulateRand(trials int, rng *rand.Rand) (SimResult, error) {
+	if err := p.Validate(); err != nil {
+		return SimResult{}, err
 	}
-	return SimResult{
-		UnitsBuilt:      totalUnits / float64(trials),
-		Availability:    totalAvail / float64(trials),
-		MeanOperational: totalOp / float64(trials),
-	}, nil
+	if trials < 1 {
+		return SimResult{}, errors.New("lifecycle: trials must be ≥ 1")
+	}
+	if rng == nil {
+		return SimResult{}, errors.New("lifecycle: nil rng")
+	}
+	parts := make([]trialResult, trials)
+	for tr := range parts {
+		b, a, o := p.simulateTrial(rng)
+		parts[tr] = trialResult{units: float64(b), avail: a, op: o}
+	}
+	return p.aggregate(parts), nil
 }
 
 // String summarizes the policy.

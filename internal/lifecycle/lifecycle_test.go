@@ -2,9 +2,11 @@ package lifecycle
 
 import (
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 
+	"sudc/internal/par"
 	"sudc/internal/units"
 	"sudc/internal/wright"
 )
@@ -175,5 +177,45 @@ func TestPolicyString(t *testing.T) {
 	s := DefaultPolicy().String()
 	if !strings.Contains(s, "4+1") || !strings.Contains(s, "15 yr") {
 		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestSimulateInvariantUnderWorkerCount(t *testing.T) {
+	p := DefaultPolicy()
+	ref, err := p.Simulate(16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 8} {
+		prev := par.SetDefaultWorkers(w)
+		r, err := p.Simulate(16, 42)
+		par.SetDefaultWorkers(prev)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if r != ref {
+			t.Errorf("workers=%d: %+v differs from %+v", w, r, ref)
+		}
+	}
+}
+
+func TestSimulateRand(t *testing.T) {
+	p := DefaultPolicy()
+	a, err := p.SimulateRand(5, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.SimulateRand(5, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("SimulateRand with identical streams must be deterministic")
+	}
+	if _, err := p.SimulateRand(5, nil); err == nil {
+		t.Error("nil rng must error")
+	}
+	if _, err := p.SimulateRand(0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero trials must error")
 	}
 }

@@ -163,12 +163,23 @@ type frame struct {
 	born float64 // generation time, s
 }
 
-// Run executes the simulation.
+// Run executes the simulation with a fresh RNG seeded from c.Seed — the
+// deterministic convenience wrapper around RunWithRand.
 func Run(c Config) (Stats, error) {
+	return RunWithRand(c, rand.New(rand.NewSource(c.Seed)))
+}
+
+// RunWithRand executes the simulation drawing all randomness (arrival
+// phases and jitter, analyzer decisions) from the injected RNG. The RNG
+// is owned by this run: callers running simulations in parallel must
+// fork one stream per run (par.ForkRand) rather than share one.
+func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 	if err := c.Validate(); err != nil {
 		return Stats{}, err
 	}
-	rng := rand.New(rand.NewSource(c.Seed))
+	if rng == nil {
+		return Stats{}, errors.New("netsim: nil rng")
+	}
 	horizon := c.Duration.Seconds()
 
 	framePeriod := 60 / c.Constellation.FramesPerMinute

@@ -1,0 +1,222 @@
+// Package par is the repository's shared parallel evaluation engine.
+// Every embarrassingly-parallel hot path — the 7168-design accelerator
+// DSE, the trade-study sweeps, the Monte-Carlo reliability and lifecycle
+// runs, and the experiment runner — funnels through the primitives here
+// rather than hand-rolling goroutines.
+//
+// Guarantees:
+//
+//   - Deterministic ordering: Map/MapErr/ForN write result i for item i,
+//     so outputs are in input order regardless of completion order.
+//   - Worker-count invariance: results never depend on the worker count;
+//     only wall-clock time does. Seeded randomness stays invariant too
+//     when streams are forked per work item via ForkSeed/ForkRand
+//     instead of shared across items.
+//   - Cancellation on error: once any item fails, workers stop picking
+//     up new work. Among the failures actually observed, the error for
+//     the lowest item index is returned.
+//   - Bounded workers: at most Workers(n) goroutines (default
+//     GOMAXPROCS) run at once; work is handed out in chunks so cheap
+//     items do not drown in scheduling overhead.
+//
+// The package is stdlib-only and has no dependencies on the rest of the
+// repository, so any layer may use it.
+package par
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// options configures one parallel run.
+type options struct {
+	workers int
+	chunk   int
+}
+
+// Option customizes Map, MapErr, ForN, or ForNErr.
+type Option func(*options)
+
+// Workers bounds the number of concurrent workers. Values ≤ 0 keep the
+// default (DefaultWorkers).
+func Workers(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.workers = n
+		}
+	}
+}
+
+// Chunk sets how many consecutive items a worker claims at a time.
+// Values ≤ 0 keep the default (≈4 chunks per worker), which suits both
+// cheap items (large chunks amortize scheduling) and expensive ones
+// (enough chunks to balance load).
+func Chunk(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.chunk = n
+		}
+	}
+}
+
+// defaultWorkers, when > 0, overrides GOMAXPROCS as the process-wide
+// default worker count.
+var defaultWorkers atomic.Int32
+
+// DefaultWorkers returns the worker count used when no Workers option is
+// given: the last SetDefaultWorkers override, or GOMAXPROCS.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetDefaultWorkers overrides the process-wide default worker count and
+// returns the previous override (0 if none was set). n ≤ 0 removes the
+// override, restoring GOMAXPROCS. Because worker count never affects
+// results, this only changes how much hardware parallel runs may use —
+// it is the hook behind the CLI worker flags and the scaling benchmarks.
+func SetDefaultWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(defaultWorkers.Swap(int32(n)))
+}
+
+// ForNErr calls fn(0..n-1) across a bounded worker pool and waits for
+// completion. After the first failure, no new chunks are claimed; the
+// error returned is the one with the lowest index among those observed.
+func ForNErr(n int, fn func(i int) error, opts ...Option) error {
+	if n <= 0 {
+		return nil
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	workers := o.workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := o.chunk
+	if chunk <= 0 {
+		chunk = n / (workers * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64 // next unclaimed item index
+		failIdx  atomic.Int64 // lowest failing index seen (n = none)
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = int64(n)
+		wg       sync.WaitGroup
+	)
+	failIdx.Store(int64(n))
+
+	worker := func() {
+		defer wg.Done()
+		for {
+			start := next.Add(int64(chunk)) - int64(chunk)
+			if start >= int64(n) || start >= failIdx.Load() {
+				return
+			}
+			end := start + int64(chunk)
+			if end > int64(n) {
+				end = int64(n)
+			}
+			for i := start; i < end; i++ {
+				if i >= failIdx.Load() {
+					return
+				}
+				if err := fn(int(i)); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					for {
+						cur := failIdx.Load()
+						if i >= cur || failIdx.CompareAndSwap(cur, i) {
+							break
+						}
+					}
+					return
+				}
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// ForN calls fn(0..n-1) across a bounded worker pool and waits for
+// completion.
+func ForN(n int, fn func(i int), opts ...Option) {
+	ForNErr(n, func(i int) error { fn(i); return nil }, opts...)
+}
+
+// Map applies fn to every item in parallel, returning results in input
+// order.
+func Map[T, R any](items []T, fn func(T) R, opts ...Option) []R {
+	out := make([]R, len(items))
+	ForN(len(items), func(i int) { out[i] = fn(items[i]) }, opts...)
+	return out
+}
+
+// MapErr applies fn to every item in parallel. On success it returns the
+// results in input order; on failure it cancels outstanding work and
+// returns the observed error with the lowest item index.
+func MapErr[T, R any](items []T, fn func(T) (R, error), opts ...Option) ([]R, error) {
+	out := make([]R, len(items))
+	err := ForNErr(len(items), func(i int) error {
+		r, err := fn(items[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForkSeed derives the i-th independent child seed from a root seed via
+// the SplitMix64 finalizer, so sibling streams stay decorrelated even
+// for adjacent roots and indices. Monte-Carlo code forks one stream per
+// work item (trial or fixed-size shard) — never per worker — so results
+// are identical under any worker count.
+func ForkSeed(root int64, i int) int64 {
+	z := uint64(root) + 0x9e3779b97f4a7c15*(uint64(i)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// ForkRand returns a *rand.Rand seeded with ForkSeed(root, i).
+func ForkRand(root int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(ForkSeed(root, i)))
+}

@@ -1,0 +1,169 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 1000)
+	for i := range items {
+		items[i] = i
+	}
+	for _, w := range []int{1, 2, 3, 8, 64} {
+		got := Map(items, func(v int) int { return v * v }, Workers(w))
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got := Map(nil, func(v int) int { return v }); len(got) != 0 {
+		t.Errorf("empty input produced %d results", len(got))
+	}
+	if got := Map([]int{7}, func(v int) int { return v + 1 }); len(got) != 1 || got[0] != 8 {
+		t.Errorf("single item: got %v", got)
+	}
+}
+
+func TestMapErrSuccess(t *testing.T) {
+	items := []int{1, 2, 3, 4, 5}
+	got, err := MapErr(items, func(v int) (int, error) { return v * 10, nil }, Workers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != items[i]*10 {
+			t.Errorf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapErrReturnsLowestObservedError(t *testing.T) {
+	items := make([]int, 500)
+	for _, w := range []int{1, 4, 16} {
+		_, err := MapErr(items, func(v int) (int, error) {
+			return 0, fmt.Errorf("fail") // every item fails
+		}, Workers(w))
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", w)
+		}
+	}
+	// Serial: the very first failing index must win.
+	calls := 0
+	_, err := MapErr(items, func(v int) (int, error) {
+		calls++
+		if calls >= 3 {
+			return 0, errors.New("third call fails")
+		}
+		return 0, nil
+	}, Workers(1))
+	if err == nil || err.Error() != "third call fails" {
+		t.Fatalf("serial error = %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("serial run made %d calls after error, want 3 (cancellation)", calls)
+	}
+}
+
+func TestForNErrCancelsOutstandingWork(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	err := ForNErr(100000, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	}, Workers(4), Chunk(16))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := calls.Load(); n == 100000 {
+		t.Error("no cancellation: every item ran despite early error")
+	}
+}
+
+func TestWorkersBound(t *testing.T) {
+	var inflight, peak atomic.Int64
+	ForN(256, func(i int) {
+		cur := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inflight.Add(-1)
+	}, Workers(3), Chunk(1))
+	if p := peak.Load(); p > 3 {
+		t.Errorf("observed %d concurrent workers, bound is 3", p)
+	}
+}
+
+func TestSetDefaultWorkers(t *testing.T) {
+	prev := SetDefaultWorkers(5)
+	defer SetDefaultWorkers(prev)
+	if DefaultWorkers() != 5 {
+		t.Errorf("DefaultWorkers = %d, want 5", DefaultWorkers())
+	}
+	if got := SetDefaultWorkers(0); got != 5 {
+		t.Errorf("SetDefaultWorkers returned %d, want previous 5", got)
+	}
+	if DefaultWorkers() < 1 {
+		t.Error("unset default must fall back to GOMAXPROCS ≥ 1")
+	}
+}
+
+func TestForkSeedIndependence(t *testing.T) {
+	seen := map[int64]bool{}
+	for root := int64(0); root < 4; root++ {
+		for i := 0; i < 256; i++ {
+			s := ForkSeed(root, i)
+			if seen[s] {
+				t.Fatalf("collision at root=%d i=%d", root, i)
+			}
+			seen[s] = true
+		}
+	}
+	// Deterministic.
+	if ForkSeed(42, 7) != ForkSeed(42, 7) {
+		t.Error("ForkSeed not deterministic")
+	}
+	// Forked streams start differently.
+	a, b := ForkRand(1, 0), ForkRand(1, 1)
+	if a.Int63() == b.Int63() {
+		t.Error("sibling streams emit identical first draw")
+	}
+}
+
+func TestResultsInvariantUnderWorkerCount(t *testing.T) {
+	// The core engine guarantee: identical output for any worker count,
+	// including with per-item forked randomness.
+	trial := func(workers int) []float64 {
+		out := make([]float64, 64)
+		ForN(64, func(i int) {
+			rng := ForkRand(99, i)
+			var s float64
+			for k := 0; k < 100; k++ {
+				s += rng.Float64()
+			}
+			out[i] = s
+		}, Workers(workers), Chunk(3))
+		return out
+	}
+	ref := trial(1)
+	for _, w := range []int{2, 4, 8} {
+		got := trial(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: out[%d] differs", w, i)
+			}
+		}
+	}
+}

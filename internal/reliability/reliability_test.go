@@ -2,9 +2,11 @@ package reliability
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"sudc/internal/par"
 	"sudc/internal/units"
 )
 
@@ -313,5 +315,46 @@ func TestExpectedWorkingBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSimulateInvariantUnderWorkerCount(t *testing.T) {
+	// The trial→stream mapping is fixed by the seed and shard size, so
+	// the estimate is bit-identical for any worker count.
+	refA, refE, err := Simulate(20, 10, 0.8, 50000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 8} {
+		prev := par.SetDefaultWorkers(w)
+		a, e, err := Simulate(20, 10, 0.8, 50000, 42)
+		par.SetDefaultWorkers(prev)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if a != refA || e != refE {
+			t.Errorf("workers=%d: (%.6f, %.6f) differs from (%.6f, %.6f)", w, a, e, refA, refE)
+		}
+	}
+}
+
+func TestSimulateRand(t *testing.T) {
+	a1, e1, err := SimulateRand(rand.New(rand.NewSource(7)), 20, 10, 0.8, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, e2, err := SimulateRand(rand.New(rand.NewSource(7)), 20, 10, 0.8, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 || e1 != e2 {
+		t.Error("SimulateRand with identical streams must be deterministic")
+	}
+	exact, _ := Availability(20, 10, 0.8)
+	if math.Abs(a1-exact) > 0.02 {
+		t.Errorf("SimulateRand availability %.4f vs exact %.4f", a1, exact)
+	}
+	if _, _, err := SimulateRand(nil, 20, 10, 0.8, 10); err == nil {
+		t.Error("nil rng must error")
 	}
 }

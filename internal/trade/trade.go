@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"sudc/internal/core"
+	"sudc/internal/par"
 	"sudc/internal/units"
 )
 
@@ -103,7 +104,8 @@ var (
 )
 
 // Sweep evaluates the cartesian product of the dimensions applied to the
-// base configuration.
+// base configuration. Grid points are independent, so the design+cost
+// evaluations run in parallel; results keep odometer (row-major) order.
 func Sweep(base core.Config, dims []Dimension) ([]Point, error) {
 	if len(dims) == 0 {
 		return nil, errors.New("trade: no dimensions")
@@ -119,31 +121,15 @@ func Sweep(base core.Config, dims []Dimension) ([]Point, error) {
 		}
 	}
 
-	points := make([]Point, 0, total)
+	// Enumerate the grid first (cheap), then fan the evaluations out.
+	combos := make([][]float64, 0, total)
 	idx := make([]int, len(dims))
 	for {
-		cfg := base
-		coords := make(map[string]float64, len(dims))
+		vals := make([]float64, len(dims))
 		for di, d := range dims {
-			v := d.Values[idx[di]]
-			d.Apply(&cfg, v)
-			coords[d.Name] = v
+			vals[di] = d.Values[idx[di]]
 		}
-		d, err := cfg.Build()
-		if err != nil {
-			return nil, fmt.Errorf("trade: at %v: %w", coords, err)
-		}
-		b, err := d.Cost()
-		if err != nil {
-			return nil, fmt.Errorf("trade: at %v: %w", coords, err)
-		}
-		points = append(points, Point{
-			Coords:       coords,
-			TCO:          b.TCO(),
-			WetMass:      d.WetMass,
-			BOLPower:     units.Power(d.Drivers.BOLPower),
-			RadiatorArea: d.Thermal.Area,
-		})
+		combos = append(combos, vals)
 
 		// Advance the odometer.
 		k := len(dims) - 1
@@ -159,7 +145,30 @@ func Sweep(base core.Config, dims []Dimension) ([]Point, error) {
 			break
 		}
 	}
-	return points, nil
+
+	return par.MapErr(combos, func(vals []float64) (Point, error) {
+		cfg := base
+		coords := make(map[string]float64, len(dims))
+		for di, d := range dims {
+			d.Apply(&cfg, vals[di])
+			coords[d.Name] = vals[di]
+		}
+		d, err := cfg.Build()
+		if err != nil {
+			return Point{}, fmt.Errorf("trade: at %v: %w", coords, err)
+		}
+		b, err := d.Cost()
+		if err != nil {
+			return Point{}, fmt.Errorf("trade: at %v: %w", coords, err)
+		}
+		return Point{
+			Coords:       coords,
+			TCO:          b.TCO(),
+			WetMass:      d.WetMass,
+			BOLPower:     units.Power(d.Drivers.BOLPower),
+			RadiatorArea: d.Thermal.Area,
+		}, nil
+	})
 }
 
 // dominates reports whether a is at least as good as b on every objective

@@ -1,9 +1,11 @@
 package trade
 
 import (
+	"reflect"
 	"testing"
 
 	"sudc/internal/core"
+	"sudc/internal/par"
 	"sudc/internal/units"
 )
 
@@ -192,6 +194,43 @@ func TestISLDimension(t *testing.T) {
 	for i := 1; i < len(pts); i++ {
 		if pts[i].TCO <= pts[i-1].TCO {
 			t.Error("TCO must grow with installed ISL capacity")
+		}
+	}
+}
+
+func TestSweepInvariantUnderWorkerCount(t *testing.T) {
+	dims := []Dimension{
+		ComputePowerKW(0.5, 2, 4, 8),
+		LifetimeYears(3, 5, 10),
+		ISLGbps(10, 50),
+	}
+	ref, err := Sweep(base(), dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 8} {
+		prev := par.SetDefaultWorkers(w)
+		pts, err := Sweep(base(), dims)
+		par.SetDefaultWorkers(prev)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(ref, pts) {
+			t.Errorf("workers=%d: sweep points differ from default-worker run", w)
+		}
+	}
+}
+
+func TestSweepErrorIsDeterministic(t *testing.T) {
+	// A dimension that drives the design infeasible partway through the
+	// grid must cancel the sweep and surface the failing coordinates.
+	dims := []Dimension{ComputePowerKW(4, -1, -2)}
+	for _, w := range []int{1, 4} {
+		prev := par.SetDefaultWorkers(w)
+		_, err := Sweep(base(), dims)
+		par.SetDefaultWorkers(prev)
+		if err == nil {
+			t.Fatalf("workers=%d: infeasible point must error", w)
 		}
 	}
 }
