@@ -11,10 +11,13 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"sudc/internal/accel"
 	"sudc/internal/dse"
 	"sudc/internal/experiments"
+	"sudc/internal/faults"
+	"sudc/internal/netsim"
 	"sudc/internal/par"
 	"sudc/internal/reliability"
 	"sudc/internal/workload"
@@ -194,3 +197,35 @@ func BenchmarkExtPipelineTiming(b *testing.B) { benchExtension(b, "Extension E4"
 func BenchmarkExtBentPipe(b *testing.B) { benchExtension(b, "Extension E5") }
 
 func BenchmarkExtTradeStudy(b *testing.B) { benchExtension(b, "Extension E6") }
+
+func BenchmarkExtOverprovision(b *testing.B) { benchExtension(b, "Extension E7") }
+
+// BenchmarkNetsim measures a fault-free 2-hour DES run of the default
+// reference scenario — the baseline recorded in BENCH_netsim.json that
+// fault-injection overhead is tracked against.
+func BenchmarkNetsim(b *testing.B) {
+	c := netsim.DefaultConfig(workload.Suite[0])
+	for i := 0; i < b.N; i++ {
+		if _, err := netsim.Run(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetsimFaulted measures the same run with every fault process
+// active.
+func BenchmarkNetsimFaulted(b *testing.B) {
+	c := netsim.DefaultConfig(workload.Suite[0])
+	c.Faults = faults.Scenario{
+		NodeMTTF:          8 * time.Hour,
+		SEFIMTBE:          30 * time.Minute,
+		SEFIRecovery:      30 * time.Second,
+		ISLOutageMTBF:     30 * time.Minute,
+		ISLOutageDuration: time.Minute,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := netsim.Run(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -14,6 +14,17 @@
 //	-filter f        edge filtering rate 0..1 (default 0)
 //	-hours h         simulated duration (default 2)
 //	-seed n          RNG seed (default 1)
+//
+// Fault injection and degraded-mode operation:
+//
+//	-mttf h          mean time to permanent worker death in hours (0 = off)
+//	-sefi m          mean time between transient SEFI hangs in minutes (0 = off)
+//	-sefi-rec s      mean SEFI watchdog recovery in seconds (default 30)
+//	-outage m        mean time between ISL outages in minutes (0 = off)
+//	-outage-dur s    mean ISL outage duration in seconds (default 60)
+//	-spares n        spare workers beyond the sized need (default 0)
+//	-retries n       ISL retry budget per frame, 0 = unlimited (default 8)
+//	-shed n          input-queue length that triggers load shedding (0 = off)
 package main
 
 import (
@@ -23,6 +34,7 @@ import (
 	"os"
 	"time"
 
+	"sudc/internal/faults"
 	"sudc/internal/netsim"
 	"sudc/internal/units"
 	"sudc/internal/workload"
@@ -46,6 +58,14 @@ func run(args []string, out io.Writer) error {
 	filter := fs.Float64("filter", 0, "edge filtering rate [0,1)")
 	hours := fs.Float64("hours", 2, "simulated duration in hours")
 	seed := fs.Int64("seed", 1, "RNG seed")
+	mttfH := fs.Float64("mttf", 0, "mean time to permanent worker death in hours (0 = off)")
+	sefiM := fs.Float64("sefi", 0, "mean time between SEFI hangs in minutes (0 = off)")
+	sefiRecS := fs.Float64("sefi-rec", 30, "mean SEFI recovery in seconds")
+	outageM := fs.Float64("outage", 0, "mean time between ISL outages in minutes (0 = off)")
+	outageDurS := fs.Float64("outage-dur", 60, "mean ISL outage duration in seconds")
+	spares := fs.Int("spares", 0, "spare workers beyond the sized need")
+	retries := fs.Int("retries", 8, "ISL retry budget per frame (0 = unlimited)")
+	shed := fs.Int("shed", 0, "input-queue length that triggers load shedding (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +85,24 @@ func run(args []string, out io.Writer) error {
 	cfg.BatchSize = *batch
 	cfg.Duration = time.Duration(*hours * float64(time.Hour))
 	cfg.Seed = *seed
+	if *spares < 0 {
+		return fmt.Errorf("negative spares %d", *spares)
+	}
+	cfg.NeedWorkers = cfg.Workers
+	cfg.Workers += *spares
+	cfg.Faults = faults.Scenario{
+		NodeMTTF:      time.Duration(*mttfH * float64(time.Hour)),
+		SEFIMTBE:      time.Duration(*sefiM * float64(time.Minute)),
+		ISLOutageMTBF: time.Duration(*outageM * float64(time.Minute)),
+	}
+	if cfg.Faults.SEFIMTBE > 0 {
+		cfg.Faults.SEFIRecovery = time.Duration(*sefiRecS * float64(time.Second))
+	}
+	if cfg.Faults.ISLOutageMTBF > 0 {
+		cfg.Faults.ISLOutageDuration = time.Duration(*outageDurS * float64(time.Second))
+	}
+	cfg.RetryLimit = *retries
+	cfg.ShedThreshold = *shed
 
 	s, err := netsim.Run(cfg)
 	if err != nil {
@@ -82,6 +120,17 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  ISL utilization      %.1f%%\n", 100*s.ISLUtilization)
 	fmt.Fprintf(out, "  worker utilization   %.1f%%\n", 100*s.WorkerUtilization)
 	fmt.Fprintf(out, "  compute energy       %.1f kWh\n", s.ComputeEnergy.WattHours()/1e3)
+	if cfg.Faults.Enabled() || *spares > 0 {
+		fmt.Fprintf(out, "\n  fault injection (%d needed + %d spare workers)\n", cfg.NeedWorkers, *spares)
+		fmt.Fprintf(out, "  availability         %.2f%%\n", 100*s.Availability)
+		fmt.Fprintf(out, "  degraded time        %.1f%%\n", 100*s.DegradedFraction)
+		fmt.Fprintf(out, "  worker downtime      %v\n", s.WorkerDowntime.Truncate(time.Second))
+		fmt.Fprintf(out, "  ISL downtime         %v\n", s.ISLDowntime.Truncate(time.Second))
+		fmt.Fprintf(out, "  frames retried       %d\n", s.FramesRetried)
+		fmt.Fprintf(out, "  frames re-dispatched %d\n", s.FramesRedispatched)
+		fmt.Fprintf(out, "  frames shed          %d\n", s.FramesShed)
+		fmt.Fprintf(out, "  frames lost          %d\n", s.FramesLost)
+	}
 	if s.KeptUp {
 		fmt.Fprintln(out, "\n  → the SµDC keeps up with the constellation")
 	} else {

@@ -62,3 +62,39 @@ func TestTinyPowerStillRuns(t *testing.T) {
 		t.Errorf("sub-worker budget must clamp to one worker:\n%s", out)
 	}
 }
+
+func TestFaultFlagsReportFaultBlock(t *testing.T) {
+	out := runSim(t, "-app", "Air Pollution", "-satellites", "2", "-hours", "1",
+		"-mttf", "2", "-sefi", "20", "-outage", "30", "-spares", "2")
+	for _, want := range []string{
+		"fault injection", "availability", "degraded time",
+		"frames retried", "frames re-dispatched", "2 spare workers",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fault output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultFreeRunOmitsFaultBlock(t *testing.T) {
+	out := runSim(t, "-hours", "0.5")
+	if strings.Contains(out, "fault injection") {
+		t.Errorf("fault-free run must not print the fault block:\n%s", out)
+	}
+}
+
+func TestBadFaultFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-spares", "-1"}, &b); err == nil {
+		t.Error("negative spares must error")
+	}
+	if err := run([]string{"-mttf", "-2"}, &b); err == nil {
+		t.Error("negative MTTF must error")
+	}
+	if err := run([]string{"-sefi", "10", "-sefi-rec", "0"}, &b); err == nil {
+		t.Error("SEFI without recovery must error")
+	}
+	if err := run([]string{"-retries", "-1"}, &b); err == nil {
+		t.Error("negative retries must error")
+	}
+}

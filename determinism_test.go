@@ -6,11 +6,17 @@ package sudc
 // the end-to-end property across the whole evaluation.
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
+	"sudc/internal/constellation"
 	"sudc/internal/experiments"
+	"sudc/internal/faults"
+	"sudc/internal/netsim"
 	"sudc/internal/par"
+	"sudc/internal/workload"
 )
 
 // renderAll runs every paper exhibit through the parallel runner and
@@ -71,4 +77,38 @@ func TestDefaultWorkerOverrideRoundTrips(t *testing.T) {
 		t.Errorf("DefaultWorkers = %d after override, want 3", par.DefaultWorkers())
 	}
 	par.SetDefaultWorkers(prev)
+}
+
+func TestFaultInjectionInvariantUnderWorkerCount(t *testing.T) {
+	// Fault schedules fork per-entity RNG streams from the replica seed,
+	// so a fault-injected DES sweep must be byte-identical whether its
+	// replicas run on 1, 2, or 8 workers.
+	c := netsim.DefaultConfig(workload.Suite[0])
+	c.Constellation = constellation.Constellation{Satellites: 2, FramesPerMinute: 6}
+	c.Workers = 5
+	c.NeedWorkers = 4
+	c.BatchSize = 4
+	c.BatchTimeout = 30 * time.Second
+	c.Duration = time.Hour
+	c.Faults = faults.Scenario{
+		NodeMTTF:          2 * time.Hour,
+		SEFIMTBE:          20 * time.Minute,
+		SEFIRecovery:      30 * time.Second,
+		ISLOutageMTBF:     30 * time.Minute,
+		ISLOutageDuration: time.Minute,
+	}
+	c.Seed = 9
+	ref, err := netsim.RunReplicas(c, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		got, err := netsim.RunReplicas(c, 12, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d: fault-injected replica stats differ from workers=1", w)
+		}
+	}
 }

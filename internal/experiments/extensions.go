@@ -29,6 +29,7 @@ func Extensions() []Experiment {
 		{"Extension E4", "accelerator pipeline throughput and latency", ExtPipelineTiming},
 		{"Extension E5", "bent-pipe downlink vs in-space processing", ExtBentPipe},
 		{"Extension E6", "power × lifetime trade study Pareto front", ExtTradeStudy},
+		{"Extension E7", "overprovisioning under injected faults: DES vs analytic availability", ExtOverprovision},
 	}
 }
 

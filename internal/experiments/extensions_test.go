@@ -7,8 +7,8 @@ import (
 
 func TestAllExtensionsRun(t *testing.T) {
 	ext := Extensions()
-	if len(ext) != 6 {
-		t.Fatalf("have %d extensions, want 6", len(ext))
+	if len(ext) != 7 {
+		t.Fatalf("have %d extensions, want 7", len(ext))
 	}
 	for _, e := range ext {
 		tbl, err := e.Run()
@@ -155,5 +155,41 @@ func TestExtPipelineTimingSane(t *testing.T) {
 		if r[4] == "" {
 			t.Errorf("%s: missing bottleneck", r[0])
 		}
+	}
+}
+
+func TestOverprovisionSweepMatchesAnalytic(t *testing.T) {
+	pts, err := OverprovisionSweep(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("want 5 spare counts, got %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.Spares != i || p.Nodes != p.Need+i {
+			t.Errorf("point %d: spares=%d nodes=%d need=%d", i, p.Spares, p.Nodes, p.Need)
+		}
+		delta := p.Measured - p.Analytic
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta > 0.02 {
+			t.Errorf("spares=%d: DES availability %.4f vs analytic %.4f — |Δ| %.4f > 2%%",
+				p.Spares, p.Measured, p.Analytic, delta)
+		}
+		if i > 0 {
+			if p.Measured <= pts[i-1].Measured {
+				t.Errorf("spares=%d: availability must grow with spares", p.Spares)
+			}
+			if p.SpareTCOShare <= pts[i-1].SpareTCOShare {
+				t.Errorf("spares=%d: spare TCO share must grow with spares", p.Spares)
+			}
+		}
+	}
+	// The paper's near-free-spares claim: even 4 spares (2× compute) add
+	// under 1% to the SµDC's total cost of ownership.
+	if last := pts[len(pts)-1]; last.SpareTCOShare >= 0.01 {
+		t.Errorf("4 spares add %.2f%% of TCO, want < 1%%", last.SpareTCOShare*100)
 	}
 }

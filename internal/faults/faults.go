@@ -1,0 +1,170 @@
+// Package faults is the repository's deterministic fault-injection
+// engine. It turns a Scenario — rates for permanent node deaths,
+// transient SEFI hangs, and ISL outages — into a concrete Schedule of
+// timestamped fault events that a simulation replays.
+//
+// Determinism contract: a Schedule is a pure function of
+// (Scenario, nodes, horizon, seed). Each node draws its lifetime and
+// hang renewal process from its own RNG stream forked via par.ForkRand,
+// and the ISL outage process uses a fixed stream index far above any
+// plausible node count, so
+//
+//   - the same inputs produce a byte-identical schedule on any machine
+//     and under any worker count, and
+//   - adding or removing one fault process never perturbs the draws of
+//     another (streams are independent per entity, not shared).
+//
+// Node lifetimes are exponential with mean NodeMTTF — the same
+// distribution behind reliability.SurvivalProb — so a discrete-event
+// simulation replaying a Schedule can be cross-checked against the
+// closed-form binomial availability of package reliability.
+package faults
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+
+	"sudc/internal/par"
+	"sudc/internal/reliability"
+)
+
+// Scenario configures the fault processes. The zero value disables all
+// of them (a fault-free world).
+type Scenario struct {
+	// NodeMTTF is the mean time to permanent node failure (wear-out,
+	// TID death); lifetimes are exponential. Zero disables deaths.
+	NodeMTTF time.Duration
+	// SEFIMTBE is each node's mean time between transient single-event
+	// functional interrupts (SEFI hangs). Zero disables hangs.
+	SEFIMTBE time.Duration
+	// SEFIRecovery is the mean watchdog-recovery time after a SEFI
+	// (exponential). Required when SEFIMTBE is set.
+	SEFIRecovery time.Duration
+	// ISLOutageMTBF is the mean time between ISL outage windows
+	// (pointing loss, terminal resets). Zero disables outages.
+	ISLOutageMTBF time.Duration
+	// ISLOutageDuration is the mean outage length (exponential).
+	// Required when ISLOutageMTBF is set.
+	ISLOutageDuration time.Duration
+}
+
+// Enabled reports whether any fault process is active.
+func (s Scenario) Enabled() bool {
+	return s.NodeMTTF > 0 || s.SEFIMTBE > 0 || s.ISLOutageMTBF > 0
+}
+
+// Validate reports scenario errors.
+func (s Scenario) Validate() error {
+	switch {
+	case s.NodeMTTF < 0:
+		return errors.New("faults: negative node MTTF")
+	case s.SEFIMTBE < 0:
+		return errors.New("faults: negative SEFI MTBE")
+	case s.SEFIRecovery < 0:
+		return errors.New("faults: negative SEFI recovery")
+	case s.ISLOutageMTBF < 0:
+		return errors.New("faults: negative ISL outage MTBF")
+	case s.ISLOutageDuration < 0:
+		return errors.New("faults: negative ISL outage duration")
+	case s.SEFIMTBE > 0 && s.SEFIRecovery == 0:
+		return errors.New("faults: SEFI hangs need a recovery time")
+	case s.ISLOutageMTBF > 0 && s.ISLOutageDuration == 0:
+		return errors.New("faults: ISL outages need a duration")
+	}
+	return nil
+}
+
+// Hang is one transient SEFI: node Node stops serving at At and resumes
+// Recovery seconds later (times in seconds from run start).
+type Hang struct {
+	Node         int
+	At, Recovery float64
+}
+
+// Outage is one ISL outage window starting at Start and lasting
+// Duration seconds.
+type Outage struct {
+	Start, Duration float64
+}
+
+// Schedule is a concrete fault timeline for one simulation run.
+type Schedule struct {
+	// Deaths[i] is node i's permanent death time in seconds;
+	// +Inf when the node outlives the horizon.
+	Deaths []float64
+	// Hangs lists SEFI hangs sorted by (At, Node). A node never hangs
+	// after its death, and its own hangs never overlap.
+	Hangs []Hang
+	// Outages lists ISL outage windows, sorted and non-overlapping.
+	Outages []Outage
+}
+
+// islStream is the fork index of the ISL outage RNG stream — fixed and
+// far above any plausible node count so node streams never collide
+// with it.
+const islStream = 1 << 30
+
+// Build materializes the schedule for `nodes` nodes over the horizon.
+// See the package comment for the determinism contract.
+func Build(s Scenario, nodes int, horizon time.Duration, seed int64) (Schedule, error) {
+	if err := s.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	if nodes < 1 {
+		return Schedule{}, errors.New("faults: need at least one node")
+	}
+	if horizon <= 0 {
+		return Schedule{}, errors.New("faults: horizon must be positive")
+	}
+	h := horizon.Seconds()
+	sched := Schedule{Deaths: make([]float64, nodes)}
+	for i := range sched.Deaths {
+		rng := par.ForkRand(seed, i)
+		death := math.Inf(1)
+		if s.NodeMTTF > 0 {
+			death = reliability.DrawLifetime(rng, s.NodeMTTF.Seconds())
+			if death > h {
+				death = math.Inf(1)
+			}
+		}
+		sched.Deaths[i] = death
+		if s.SEFIMTBE > 0 {
+			limit := math.Min(death, h)
+			for t := rng.ExpFloat64() * s.SEFIMTBE.Seconds(); t < limit; {
+				rec := rng.ExpFloat64() * s.SEFIRecovery.Seconds()
+				sched.Hangs = append(sched.Hangs, Hang{Node: i, At: t, Recovery: rec})
+				// Next hang cannot begin before this one recovers.
+				t += rec + rng.ExpFloat64()*s.SEFIMTBE.Seconds()
+			}
+		}
+	}
+	sort.Slice(sched.Hangs, func(a, b int) bool {
+		if sched.Hangs[a].At != sched.Hangs[b].At {
+			return sched.Hangs[a].At < sched.Hangs[b].At
+		}
+		return sched.Hangs[a].Node < sched.Hangs[b].Node
+	})
+	if s.ISLOutageMTBF > 0 {
+		rng := par.ForkRand(seed, islStream)
+		for t := rng.ExpFloat64() * s.ISLOutageMTBF.Seconds(); t < h; {
+			dur := rng.ExpFloat64() * s.ISLOutageDuration.Seconds()
+			sched.Outages = append(sched.Outages, Outage{Start: t, Duration: dur})
+			t += dur + rng.ExpFloat64()*s.ISLOutageMTBF.Seconds()
+		}
+	}
+	return sched, nil
+}
+
+// DeadBy returns how many nodes have permanently died by time t
+// (seconds).
+func (s Schedule) DeadBy(t float64) int {
+	dead := 0
+	for _, d := range s.Deaths {
+		if d <= t {
+			dead++
+		}
+	}
+	return dead
+}

@@ -1,0 +1,188 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func scenario() Scenario {
+	return Scenario{
+		NodeMTTF:          4 * time.Hour,
+		SEFIMTBE:          30 * time.Minute,
+		SEFIRecovery:      45 * time.Second,
+		ISLOutageMTBF:     20 * time.Minute,
+		ISLOutageDuration: 90 * time.Second,
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	if err := (Scenario{}).Validate(); err != nil {
+		t.Errorf("zero scenario must be valid (fault-free): %v", err)
+	}
+	if (Scenario{}).Enabled() {
+		t.Error("zero scenario must not be enabled")
+	}
+	if !scenario().Enabled() {
+		t.Error("full scenario must be enabled")
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"negative mttf", func(s *Scenario) { s.NodeMTTF = -1 }},
+		{"negative mtbe", func(s *Scenario) { s.SEFIMTBE = -1 }},
+		{"negative recovery", func(s *Scenario) { s.SEFIRecovery = -1 }},
+		{"negative outage mtbf", func(s *Scenario) { s.ISLOutageMTBF = -1 }},
+		{"negative outage duration", func(s *Scenario) { s.ISLOutageDuration = -1 }},
+		{"sefi without recovery", func(s *Scenario) { s.SEFIRecovery = 0 }},
+		{"outage without duration", func(s *Scenario) { s.ISLOutageDuration = 0 }},
+	}
+	for _, tt := range tests {
+		s := scenario()
+		tt.mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected error", tt.name)
+		}
+	}
+}
+
+func TestBuildRejectsBadInputs(t *testing.T) {
+	if _, err := Build(Scenario{NodeMTTF: -1}, 4, time.Hour, 1); err == nil {
+		t.Error("invalid scenario must error")
+	}
+	if _, err := Build(scenario(), 0, time.Hour, 1); err == nil {
+		t.Error("zero nodes must error")
+	}
+	if _, err := Build(scenario(), 4, 0, 1); err == nil {
+		t.Error("zero horizon must error")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(scenario(), 8, 2*time.Hour, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(scenario(), 8, 2*time.Hour, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same inputs must produce an identical schedule")
+	}
+	c, err := Build(scenario(), 8, 2*time.Hour, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds must produce different schedules")
+	}
+}
+
+func TestStreamsIndependentPerProcess(t *testing.T) {
+	// Disabling the ISL outage process must not change node draws, and
+	// vice versa: streams are forked per entity, never shared.
+	full, err := Build(scenario(), 8, 2*time.Hour, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noISL := scenario()
+	noISL.ISLOutageMTBF, noISL.ISLOutageDuration = 0, 0
+	nodesOnly, err := Build(noISL, 8, 2*time.Hour, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full.Deaths, nodesOnly.Deaths) || !reflect.DeepEqual(full.Hangs, nodesOnly.Hangs) {
+		t.Error("node streams must be independent of the ISL process")
+	}
+	noNodes := scenario()
+	noNodes.SEFIMTBE, noNodes.SEFIRecovery = 0, 0
+	islToo, err := Build(noNodes, 8, 2*time.Hour, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full.Outages, islToo.Outages) {
+		t.Error("the ISL stream must be independent of the SEFI process")
+	}
+}
+
+func TestDeathsExponential(t *testing.T) {
+	// Over many nodes, the fraction dead by t must track 1 − e^{-t/MTTF}.
+	const nodes = 4000
+	s := Scenario{NodeMTTF: 4 * time.Hour}
+	sched, err := Build(s, nodes, 8*time.Hour, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tOverT := range []float64{0.5, 1, 1.5} {
+		tSec := tOverT * s.NodeMTTF.Seconds()
+		want := 1 - math.Exp(-tOverT)
+		got := float64(sched.DeadBy(tSec)) / nodes
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("dead fraction at t=%.1fT: got %.3f, want %.3f", tOverT, got, want)
+		}
+	}
+}
+
+func TestHangsSortedBoundedAndBeforeDeath(t *testing.T) {
+	sched, err := Build(scenario(), 16, 4*time.Hour, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Hangs) == 0 {
+		t.Fatal("a 30-minute MTBE over 16 nodes × 4 h must produce hangs")
+	}
+	horizon := (4 * time.Hour).Seconds()
+	for i, hg := range sched.Hangs {
+		if hg.At < 0 || hg.At >= horizon {
+			t.Errorf("hang %d at %v outside [0, horizon)", i, hg.At)
+		}
+		if hg.Recovery < 0 {
+			t.Errorf("hang %d negative recovery", i)
+		}
+		if hg.At >= sched.Deaths[hg.Node] {
+			t.Errorf("hang %d scheduled after node %d death", i, hg.Node)
+		}
+		if i > 0 && sched.Hangs[i-1].At > hg.At {
+			t.Error("hangs must be sorted by time")
+		}
+	}
+}
+
+func TestOutagesSortedNonOverlapping(t *testing.T) {
+	sched, err := Build(scenario(), 4, 6*time.Hour, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Outages) == 0 {
+		t.Fatal("a 20-minute outage MTBF over 6 h must produce outages")
+	}
+	prevEnd := 0.0
+	for i, o := range sched.Outages {
+		if o.Start < prevEnd {
+			t.Errorf("outage %d overlaps its predecessor", i)
+		}
+		if o.Duration < 0 {
+			t.Errorf("outage %d negative duration", i)
+		}
+		prevEnd = o.Start + o.Duration
+	}
+}
+
+func TestDeathsCensoredAtHorizon(t *testing.T) {
+	sched, err := Build(Scenario{NodeMTTF: time.Hour}, 64, 30*time.Minute, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := (30 * time.Minute).Seconds()
+	for i, d := range sched.Deaths {
+		if d > horizon && !math.IsInf(d, 1) {
+			t.Errorf("node %d death %v beyond horizon must be +Inf", i, d)
+		}
+	}
+	if sched.DeadBy(horizon) == 0 {
+		t.Error("with MTTF = 2×horizon over 64 nodes, some deaths expected")
+	}
+}

@@ -219,3 +219,51 @@ func TestSimulateRand(t *testing.T) {
 		t.Error("zero trials must error")
 	}
 }
+
+func TestSimulateRandErrors(t *testing.T) {
+	p := DefaultPolicy()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := p.SimulateRand(0, rng); err == nil {
+		t.Error("zero trials must error")
+	}
+	if _, err := p.SimulateRand(10, nil); err == nil {
+		t.Error("nil rng must error")
+	}
+	bad := p
+	bad.Horizon = 0
+	if _, err := bad.SimulateRand(10, rng); err == nil {
+		t.Error("invalid policy must error")
+	}
+}
+
+func TestExpectedUnitsRejectsInvalidPolicy(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Policy)
+	}{
+		{"no target", func(p *Policy) { p.Target = 0 }},
+		{"negative spares", func(p *Policy) { p.Spares = -1 }},
+		{"no lifetime", func(p *Policy) { p.DesignLifetime = 0 }},
+		{"negative mttf", func(p *Policy) { p.EarlyFailureMTTF = -1 }},
+		{"no horizon", func(p *Policy) { p.Horizon = 0 }},
+		{"negative lead", func(p *Policy) { p.ReplacementLeadTime = -1 }},
+	}
+	for _, tt := range tests {
+		p := DefaultPolicy()
+		tt.mutate(&p)
+		if _, err := p.ExpectedUnits(); err == nil {
+			t.Errorf("%s: ExpectedUnits must reject the policy", tt.name)
+		}
+		if _, err := p.ProgramCost(units.Dollars(1e8), units.Dollars(1e7), wright.DefaultAerospace); err == nil {
+			t.Errorf("%s: ProgramCost must reject the policy", tt.name)
+		}
+	}
+}
+
+func TestProgramCostRejectsBadCurve(t *testing.T) {
+	p := DefaultPolicy()
+	bad := wright.Curve{ProgressRatio: 1.5}
+	if _, err := p.ProgramCost(units.Dollars(1e8), units.Dollars(1e7), bad); err == nil {
+		t.Error("invalid learning curve must error")
+	}
+}

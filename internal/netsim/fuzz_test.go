@@ -1,0 +1,71 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"sudc/internal/constellation"
+	"sudc/internal/faults"
+	"sudc/internal/units"
+	"sudc/internal/workload"
+)
+
+// FuzzConfigValidate throws arbitrary field values at Validate — it must
+// classify every configuration without panicking — and, when the config
+// is valid and small enough to simulate quickly, runs it to check that a
+// validated config never fails or breaks frame conservation.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(2, 6.0, 2, 4, 30.0, 0.2, 300.0, 0.0, 0.0, 0.0, 0, 2.0, 0)
+	f.Add(64, 1.2, 33, 8, 120.0, 0.2, 600.0, 3600.0, 0.0, 0.0, 8, 2.0, 0)
+	f.Add(1, 0.5, 1, 1, 1.0, 0.0, 60.0, 60.0, 30.0, 10.0, 1, 0.5, 16)
+	f.Add(-3, -1.0, 0, -2, -5.0, 1.5, 0.0, -1.0, 5.0, -2.0, -1, -0.1, -9)
+	f.Fuzz(func(t *testing.T, sats int, fpm float64, workers, batch int,
+		timeoutS, insight, durS, mttfS, sefiS, outageS float64,
+		retries int, backoffS float64, shed int) {
+		c := Config{
+			Constellation:   constellation.Constellation{Satellites: sats, FramesPerMinute: fpm},
+			App:             workload.Suite[0],
+			ISLRate:         units.GbpsOf(30),
+			Workers:         workers,
+			WorkerPower:     workload.Suite[0].GPUPower,
+			BatchSize:       batch,
+			BatchTimeout:    time.Duration(timeoutS * float64(time.Second)),
+			InsightFraction: insight,
+			Duration:        time.Duration(durS * float64(time.Second)),
+			Seed:            1,
+			Faults: faults.Scenario{
+				NodeMTTF:          time.Duration(mttfS * float64(time.Second)),
+				SEFIMTBE:          time.Duration(sefiS * float64(time.Second)),
+				SEFIRecovery:      time.Duration(sefiS * float64(time.Second) / 10),
+				ISLOutageMTBF:     time.Duration(outageS * float64(time.Second)),
+				ISLOutageDuration: time.Duration(outageS * float64(time.Second) / 5),
+			},
+			RetryLimit:      retries,
+			RetryBackoff:    time.Duration(backoffS * float64(time.Second)),
+			RetryBackoffCap: time.Duration(backoffS * 4 * float64(time.Second)),
+			ShedThreshold:   shed,
+		}
+		err := c.Validate() // must never panic, whatever the fields
+		if err != nil {
+			return
+		}
+		// Only simulate configs cheap enough for a fuzz iteration.
+		if sats > 4 || fpm > 30 || workers > 4 || batch > 64 ||
+			c.Duration > 10*time.Minute ||
+			(c.Faults.SEFIMTBE > 0 && c.Faults.SEFIMTBE < time.Second) ||
+			(c.Faults.ISLOutageMTBF > 0 && c.Faults.ISLOutageMTBF < time.Second) ||
+			(c.RetryBackoff > 0 && c.RetryBackoff < 100*time.Millisecond) {
+			return
+		}
+		s, runErr := Run(c)
+		if runErr != nil {
+			t.Fatalf("validated config must simulate: %v", runErr)
+		}
+		if got := s.FramesProcessed + s.Backlog + s.FramesShed + s.FramesLost; got != s.FramesGenerated {
+			t.Fatalf("conservation: processed+backlog+shed+lost = %d ≠ %d generated", got, s.FramesGenerated)
+		}
+		if s.Availability < 0 || s.Availability > 1 || s.DegradedFraction < 0 || s.DegradedFraction > 1 {
+			t.Fatalf("availability %v / degraded %v out of [0,1]", s.Availability, s.DegradedFraction)
+		}
+	})
+}

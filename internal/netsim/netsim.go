@@ -10,17 +10,30 @@
 // Panoptic Segmentation, which needs four (the "# SµDC" column), and
 // batching latency at low frame rates reaches the "several minutes" the
 // paper describes.
+//
+// Beyond the fault-free pipeline, the simulator replays fault schedules
+// from package faults — transient SEFI hangs with watchdog recovery,
+// permanent node deaths, and ISL outage windows — under degraded-mode
+// policies: frame retry with capped exponential backoff across the ISL,
+// re-dispatch of batches stranded on a dead worker, and load-shedding of
+// the lowest-value frames once the input queue exceeds a threshold. This
+// is how the paper's fourth optimization (near-zero-cost compute
+// overprovisioning) is validated end to end: DES-measured availability
+// under spares is cross-checked against reliability.Availability.
 package netsim
 
 import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"time"
 
 	"sudc/internal/constellation"
+	"sudc/internal/faults"
+	"sudc/internal/par"
 	"sudc/internal/units"
 	"sudc/internal/workload"
 )
@@ -45,8 +58,28 @@ type Config struct {
 	InsightFraction float64
 	// Duration is the simulated time span.
 	Duration time.Duration
-	// Seed drives the arrival-jitter and analyzer randomness.
+	// Seed drives the arrival-jitter and analyzer randomness, and forks
+	// the fault-schedule streams.
 	Seed int64
+
+	// Faults injects worker and ISL faults; the zero value simulates a
+	// fault-free world.
+	Faults faults.Scenario
+	// NeedWorkers is the worker count that defines full service for
+	// availability accounting (0 means Workers). With spare nodes, set
+	// NeedWorkers to the sized need and Workers to need + spares.
+	NeedWorkers int
+	// RetryLimit caps failed ISL transmission attempts per frame before
+	// the frame is dropped as lost (0 = retry forever).
+	RetryLimit int
+	// RetryBackoff is the delay before the first ISL retry; it doubles
+	// per failed attempt, capped at RetryBackoffCap. Zero values default
+	// to 2 s and 60 s.
+	RetryBackoff    time.Duration
+	RetryBackoffCap time.Duration
+	// ShedThreshold sheds the lowest-value queued frame whenever the
+	// input queue grows beyond it (0 = no shedding).
+	ShedThreshold int
 }
 
 // DefaultConfig simulates the paper's reference scenario for one app: the
@@ -67,6 +100,9 @@ func DefaultConfig(app workload.App) Config {
 		InsightFraction: 0.2,
 		Duration:        2 * time.Hour,
 		Seed:            1,
+		RetryLimit:      8,
+		RetryBackoff:    2 * time.Second,
+		RetryBackoffCap: time.Minute,
 	}
 }
 
@@ -99,6 +135,30 @@ func (c Config) Validate() error {
 	if c.Duration <= 0 {
 		return errors.New("netsim: duration must be positive")
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.NeedWorkers < 0 {
+		return errors.New("netsim: negative need-workers")
+	}
+	if c.NeedWorkers > c.Workers {
+		return fmt.Errorf("netsim: need %d workers but only %d installed", c.NeedWorkers, c.Workers)
+	}
+	if c.RetryLimit < 0 {
+		return errors.New("netsim: negative retry limit")
+	}
+	if c.RetryBackoff < 0 {
+		return errors.New("netsim: negative retry backoff")
+	}
+	if c.RetryBackoffCap < 0 {
+		return errors.New("netsim: negative retry backoff cap")
+	}
+	if c.RetryBackoffCap > 0 && c.RetryBackoff > c.RetryBackoffCap {
+		return errors.New("netsim: retry backoff exceeds its cap")
+	}
+	if c.ShedThreshold < 0 {
+		return errors.New("netsim: negative shed threshold")
+	}
 	return nil
 }
 
@@ -123,6 +183,29 @@ type Stats struct {
 	// KeptUp reports whether the SµDC drained its input: backlog at the
 	// end is below twice a batch per worker.
 	KeptUp bool
+
+	// FramesRetried counts failed ISL transmission attempts that were
+	// retried with exponential backoff.
+	FramesRetried int
+	// FramesRedispatched counts frames re-queued after the worker
+	// serving their batch died mid-service.
+	FramesRedispatched int
+	// FramesShed counts lowest-value frames dropped by load shedding.
+	FramesShed int
+	// FramesLost counts frames dropped at the ISL retry limit.
+	FramesLost int
+	// WorkerDowntime is the accumulated dead-or-hung worker time summed
+	// over all workers (worker-time, not wall-clock).
+	WorkerDowntime time.Duration
+	// ISLDowntime is the total ISL outage time within the run.
+	ISLDowntime time.Duration
+	// DegradedFraction is the fraction of the run spent with fewer than
+	// the full worker complement in service.
+	DegradedFraction float64
+	// Availability is the fraction of the run with at least NeedWorkers
+	// (default: all workers) in service — the DES counterpart of
+	// reliability.Availability.
+	Availability float64
 }
 
 // event kinds.
@@ -131,13 +214,21 @@ const (
 	evISLDone            // a frame finished crossing the ISL
 	evBatchDone          // a worker finished a batch
 	evBatchingOut        // batch timeout fired
+	evISLRetry           // backoff expired, the head frame retries the ISL
+	evOutageStart        // the ISL goes down
+	evOutageEnd          // the ISL recovers
+	evWorkerDeath        // a worker dies permanently
+	evSEFIStart          // a worker hangs on a transient SEFI
+	evSEFIEnd            // the watchdog recovered a hung worker
 )
 
 type event struct {
 	at   float64 // seconds
 	kind int
-	sat  int
-	seq  int // heap tiebreak for determinism
+	who  int     // satellite or worker index
+	gen  int     // invalidation generation for evISLDone / evBatchDone
+	dur  float64 // payload: recovery or outage duration, seconds
+	seq  int     // heap tiebreak for determinism
 }
 
 type eventQueue []event
@@ -160,7 +251,19 @@ func (q *eventQueue) Pop() any {
 }
 
 type frame struct {
-	born float64 // generation time, s
+	born  float64 // generation time, s
+	value float64 // analyzer value draw in [0,1): the top InsightFraction quantile is an insight
+	tries int     // failed ISL transmission attempts
+}
+
+// workerState is one GPU node's health and service state.
+type workerState struct {
+	dead   bool
+	hung   bool
+	busy   bool
+	gen    int     // invalidates stale evBatchDone events
+	doneAt float64 // pending batch completion time
+	batch  []frame // in-flight frames, for re-dispatch on death
 }
 
 // Run executes the simulation with a fresh RNG seeded from c.Seed — the
@@ -169,16 +272,53 @@ func Run(c Config) (Stats, error) {
 	return RunWithRand(c, rand.New(rand.NewSource(c.Seed)))
 }
 
+// RunReplicas executes `replicas` independent runs of the configuration,
+// seeding replica r with par.ForkSeed(c.Seed, r), evaluated in parallel
+// over the shared engine. Both the per-replica fault schedules and the
+// returned Stats slice are identical for any worker count (workers ≤ 0
+// uses the engine default). Availability experiments average over
+// replicas to beat per-trajectory noise.
+func RunReplicas(c Config, replicas, workers int) ([]Stats, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if replicas < 1 {
+		return nil, errors.New("netsim: replicas must be ≥ 1")
+	}
+	out := make([]Stats, replicas)
+	err := par.ForNErr(replicas, func(r int) error {
+		cc := c
+		cc.Seed = par.ForkSeed(c.Seed, r)
+		s, err := Run(cc)
+		if err != nil {
+			return err
+		}
+		out[r] = s
+		return nil
+	}, par.Workers(workers))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // RunWithRand executes the simulation drawing all randomness (arrival
 // phases and jitter, analyzer decisions) from the injected RNG. The RNG
 // is owned by this run: callers running simulations in parallel must
-// fork one stream per run (par.ForkRand) rather than share one.
+// fork one stream per run (par.ForkRand) rather than share one. Fault
+// schedules are not drawn from this RNG: they fork their own per-node
+// streams from c.Seed (package faults), so enabling a fault process
+// never perturbs arrivals.
 func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 	if err := c.Validate(); err != nil {
 		return Stats{}, err
 	}
 	if rng == nil {
 		return Stats{}, errors.New("netsim: nil rng")
+	}
+	sched, err := faults.Build(c.Faults, c.Workers, c.Duration, c.Seed)
+	if err != nil {
+		return Stats{}, err
 	}
 	horizon := c.Duration.Seconds()
 
@@ -191,68 +331,186 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 	nodePixPerSec := c.App.KPixelPerJoule * 1e3 * float64(c.WorkerPower)
 	framePixels := c.App.FrameMPixels * 1e6 * (1 - c.Constellation.FilterRate)
 
+	need := c.NeedWorkers
+	if need == 0 {
+		need = c.Workers
+	}
+	backoffBase := c.RetryBackoff.Seconds()
+	if backoffBase <= 0 {
+		backoffBase = 2
+	}
+	backoffCap := c.RetryBackoffCap.Seconds()
+	if backoffCap < backoffBase {
+		backoffCap = 60
+	}
+	if backoffCap < backoffBase {
+		backoffCap = backoffBase
+	}
+
 	var (
 		q            eventQueue
 		seq          int
 		islQueue     []frame // frames waiting for the link
-		islBusy      bool
-		islBusyTill  float64
+		islSending   bool
+		islDown      bool
+		islGen       int     // invalidates aborted transfers
+		islSendStart float64 // start of the in-flight transfer
+		retryArmed   bool    // head frame is waiting out its backoff
 		islBusySum   float64
+		islDownSum   float64
 		inputQueue   []frame // frames landed, waiting to batch
-		freeWorkers  = c.Workers
-		busySum      float64 // worker-seconds of service
+		workers      = make([]workerState, c.Workers)
+		effective    = c.Workers // workers neither dead nor hung
+		lastT        float64     // last availability-integral checkpoint
+		upTime       float64     // time with effective ≥ need
+		degradedTime float64     // time with effective < Workers
+		downWS       float64     // worker-seconds dead or hung
+		busySum      float64     // worker-seconds of useful service
 		timeoutArmed bool
 		stats        Stats
 		latencies    []float64
 		now          float64
 	)
 
-	push := func(at float64, kind, sat int) {
+	push := func(e event) {
 		seq++
-		heap.Push(&q, event{at: at, kind: kind, sat: sat, seq: seq})
+		e.seq = seq
+		heap.Push(&q, e)
+	}
+
+	// accrue integrates the availability accumulators up to time t.
+	accrue := func(t float64) {
+		if dt := t - lastT; dt > 0 {
+			if effective >= need {
+				upTime += dt
+			}
+			if effective < c.Workers {
+				degradedTime += dt
+			}
+			downWS += dt * float64(c.Workers-effective)
+		}
+		lastT = t
+	}
+
+	recount := func() {
+		effective = 0
+		for i := range workers {
+			if !workers[i].dead && !workers[i].hung {
+				effective++
+			}
+		}
 	}
 
 	// Seed per-satellite frame generation with random phase.
 	for s := 0; s < c.Constellation.Satellites; s++ {
-		push(rng.Float64()*framePeriod, evFrameReady, s)
+		push(event{at: rng.Float64() * framePeriod, kind: evFrameReady, who: s})
+	}
+	// Inject the fault schedule.
+	for w, death := range sched.Deaths {
+		if death <= horizon {
+			push(event{at: death, kind: evWorkerDeath, who: w})
+		}
+	}
+	for _, hg := range sched.Hangs {
+		push(event{at: hg.At, kind: evSEFIStart, who: hg.Node, dur: hg.Recovery})
+	}
+	for _, o := range sched.Outages {
+		push(event{at: o.Start, kind: evOutageStart, dur: o.Duration})
 	}
 
-	startISL := func() {
-		if islBusy || len(islQueue) == 0 {
+	backoff := func(tries int) float64 {
+		d := backoffBase * math.Pow(2, float64(tries-1))
+		if d > backoffCap {
+			d = backoffCap
+		}
+		return d
+	}
+
+	// failHead records a failed transmission attempt for the head frame:
+	// retry after backoff, or drop it past the retry limit.
+	failHead := func() {
+		f := &islQueue[0]
+		f.tries++
+		if c.RetryLimit > 0 && f.tries > c.RetryLimit {
+			islQueue = islQueue[1:]
+			stats.FramesLost++
 			return
 		}
-		islBusy = true
-		islBusyTill = now + islTime
-		islBusySum += islTime
-		push(islBusyTill, evISLDone, 0)
+		stats.FramesRetried++
+		retryArmed = true
+		push(event{at: now + backoff(f.tries), kind: evISLRetry})
+	}
+
+	// attemptISL starts the head frame's transfer, or fails it into
+	// backoff when the link is down.
+	attemptISL := func() {
+		for !islSending && !retryArmed && len(islQueue) > 0 {
+			if islDown {
+				failHead() // arms a retry (exits loop) or drops the head
+				continue
+			}
+			islSending = true
+			islGen++
+			islSendStart = now
+			push(event{at: now + islTime, kind: evISLDone, gen: islGen})
+			return
+		}
+	}
+
+	// addToInput lands a frame in the batching queue, shedding the
+	// lowest-value frame when the queue outgrows the threshold.
+	addToInput := func(f frame) {
+		inputQueue = append(inputQueue, f)
+		if c.ShedThreshold > 0 && len(inputQueue) > c.ShedThreshold {
+			low := 0
+			for i := 1; i < len(inputQueue); i++ {
+				if inputQueue[i].value < inputQueue[low].value {
+					low = i
+				}
+			}
+			inputQueue = append(inputQueue[:low], inputQueue[low+1:]...)
+			stats.FramesShed++
+		}
+		if len(inputQueue) > stats.MaxInputQueue {
+			stats.MaxInputQueue = len(inputQueue)
+		}
+	}
+
+	// freeWorker returns the lowest-index dispatchable worker, for
+	// deterministic worker selection.
+	freeWorker := func() int {
+		for i := range workers {
+			if !workers[i].dead && !workers[i].hung && !workers[i].busy {
+				return i
+			}
+		}
+		return -1
 	}
 
 	dispatch := func(force bool) {
-		for freeWorkers > 0 && (len(inputQueue) >= c.BatchSize || (force && len(inputQueue) > 0)) {
+		for len(inputQueue) >= c.BatchSize || (force && len(inputQueue) > 0) {
+			wi := freeWorker()
+			if wi < 0 {
+				break
+			}
 			n := c.BatchSize
 			if n > len(inputQueue) {
 				n = len(inputQueue)
 			}
-			batch := inputQueue[:n]
+			batch := append([]frame(nil), inputQueue[:n]...)
 			inputQueue = append([]frame(nil), inputQueue[n:]...)
-			freeWorkers--
+			w := &workers[wi]
 			service := float64(n) * framePixels / nodePixPerSec
 			busySum += service
-			done := now + service
-			for _, f := range batch {
-				latencies = append(latencies, done-f.born)
-			}
-			stats.FramesProcessed += n
-			for i := 0; i < n; i++ {
-				if rng.Float64() < c.InsightFraction {
-					stats.InsightsDownlinked++
-				}
-			}
-			push(done, evBatchDone, 0)
+			w.busy = true
+			w.batch = batch
+			w.gen++
+			w.doneAt = now + service
+			push(event{at: w.doneAt, kind: evBatchDone, who: wi, gen: w.gen})
 		}
 		if len(inputQueue) > 0 && !timeoutArmed {
 			timeoutArmed = true
-			push(now+c.BatchTimeout.Seconds(), evBatchingOut, 0)
+			push(event{at: now + c.BatchTimeout.Seconds(), kind: evBatchingOut})
 		}
 	}
 
@@ -262,34 +520,123 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 			break
 		}
 		now = e.at
+		accrue(now)
 		switch e.kind {
 		case evFrameReady:
 			stats.FramesGenerated++
-			islQueue = append(islQueue, frame{born: now})
-			startISL()
+			islQueue = append(islQueue, frame{born: now, value: rng.Float64()})
+			attemptISL()
 			// Next frame from this satellite, with 5% timing jitter.
 			jitter := 1 + 0.1*(rng.Float64()-0.5)
-			push(now+framePeriod*jitter, evFrameReady, e.sat)
+			push(event{at: now + framePeriod*jitter, kind: evFrameReady, who: e.who})
+
 		case evISLDone:
-			islBusy = false
+			if e.gen != islGen || !islSending {
+				break // transfer aborted by an outage
+			}
+			islSending = false
+			islBusySum += now - islSendStart
 			f := islQueue[0]
 			islQueue = islQueue[1:]
-			inputQueue = append(inputQueue, f)
-			if len(inputQueue) > stats.MaxInputQueue {
-				stats.MaxInputQueue = len(inputQueue)
+			addToInput(f)
+			attemptISL()
+			dispatch(false)
+
+		case evISLRetry:
+			retryArmed = false
+			attemptISL()
+
+		case evOutageStart:
+			islDown = true
+			end := now + e.dur
+			if clip := math.Min(end, horizon); clip > now {
+				islDownSum += clip - now
 			}
-			startISL()
+			push(event{at: end, kind: evOutageEnd})
+			if islSending {
+				// Abort the in-flight transfer; the head frame retries.
+				islSending = false
+				islGen++
+				islBusySum += now - islSendStart
+				failHead()
+				attemptISL()
+			}
+
+		case evOutageEnd:
+			islDown = false
+			attemptISL()
+
+		case evWorkerDeath:
+			w := &workers[e.who]
+			if w.dead {
+				break
+			}
+			w.dead = true
+			if w.busy {
+				// The batch is stranded: return its frames to the head
+				// of the queue for re-dispatch.
+				w.busy = false
+				w.gen++
+				busySum -= w.doneAt - now
+				stats.FramesRedispatched += len(w.batch)
+				inputQueue = append(append([]frame(nil), w.batch...), inputQueue...)
+				if len(inputQueue) > stats.MaxInputQueue {
+					stats.MaxInputQueue = len(inputQueue)
+				}
+				w.batch = nil
+			}
+			recount()
 			dispatch(false)
+
+		case evSEFIStart:
+			w := &workers[e.who]
+			if w.dead || w.hung {
+				break
+			}
+			w.hung = true
+			if w.busy {
+				// The watchdog reboots the node and the batch resumes:
+				// completion slips by the recovery time.
+				w.gen++
+				w.doneAt += e.dur
+				push(event{at: w.doneAt, kind: evBatchDone, who: e.who, gen: w.gen})
+			}
+			push(event{at: now + e.dur, kind: evSEFIEnd, who: e.who})
+			recount()
+
+		case evSEFIEnd:
+			w := &workers[e.who]
+			if w.dead || !w.hung {
+				break
+			}
+			w.hung = false
+			recount()
+			dispatch(false)
+
 		case evBatchDone:
-			freeWorkers++
+			w := &workers[e.who]
+			if w.dead || !w.busy || e.gen != w.gen {
+				break // stale: the worker died or the batch slipped
+			}
+			w.busy = false
+			stats.FramesProcessed += len(w.batch)
+			for _, f := range w.batch {
+				latencies = append(latencies, now-f.born)
+				if f.value >= 1-c.InsightFraction {
+					stats.InsightsDownlinked++
+				}
+			}
+			w.batch = nil
 			dispatch(false)
+
 		case evBatchingOut:
 			timeoutArmed = false
 			dispatch(true)
 		}
 	}
+	accrue(horizon)
 
-	stats.Backlog = stats.FramesGenerated - stats.FramesProcessed
+	stats.Backlog = stats.FramesGenerated - stats.FramesProcessed - stats.FramesShed - stats.FramesLost
 	if len(latencies) > 0 {
 		sort.Float64s(latencies)
 		var sum float64
@@ -303,5 +650,9 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 	stats.WorkerUtilization = units.Clamp(busySum/(horizon*float64(c.Workers)), 0, 1)
 	stats.ComputeEnergy = units.Energy(busySum * float64(c.WorkerPower))
 	stats.KeptUp = stats.Backlog <= 2*c.BatchSize*c.Workers
+	stats.WorkerDowntime = time.Duration(downWS * float64(time.Second))
+	stats.ISLDowntime = time.Duration(islDownSum * float64(time.Second))
+	stats.DegradedFraction = units.Clamp(degradedTime/horizon, 0, 1)
+	stats.Availability = units.Clamp(upTime/horizon, 0, 1)
 	return stats, nil
 }

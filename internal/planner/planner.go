@@ -60,6 +60,11 @@ type Plan struct {
 	BaseConfig core.Config
 	// Learning prices the fleet (zero value = no learning).
 	Learning wright.Curve
+	// Spares is how many cold-spare SµDCs fly beyond the packed fleet.
+	// Spares carry no allocations but are priced (and, sitting at the
+	// deep end of the learning curve, cost less than any active unit) —
+	// the fleet-level version of the paper's near-free overprovisioning.
+	Spares int
 }
 
 // DefaultPlan plans 4 kW reference SµDCs with aerospace-typical learning.
@@ -99,8 +104,13 @@ type Result struct {
 	FleetNRE units.Dollars
 	FleetRE  units.Dollars
 	FleetTCO units.Dollars
-	// Utilization is used power over installed power across the fleet.
+	// Utilization is used power over installed power across the fleet,
+	// spares included in the denominator.
 	Utilization float64
+	// SpareUnits is the planned cold-spare count; SpareCost is the
+	// marginal learning-discounted recurring cost those spares add.
+	SpareUnits int
+	SpareCost  units.Dollars
 }
 
 // Size computes the per-application compute power demands.
@@ -138,6 +148,9 @@ func (p Plan) Size() ([]Allocation, error) {
 func (p Plan) Pack() (Result, error) {
 	if p.SuDCClass <= 0 {
 		return Result{}, errors.New("planner: SµDC class must be positive")
+	}
+	if p.Spares < 0 {
+		return Result{}, errors.New("planner: negative spares")
 	}
 	perApp, err := p.Size()
 	if err != nil {
@@ -197,16 +210,23 @@ func (p Plan) Pack() (Result, error) {
 	if curve.ProgressRatio == 0 {
 		curve = wright.Curve{ProgressRatio: 1}
 	}
-	re, err := curve.CumulativeCost(tot.RE, len(sudcs))
+	activeRE, err := curve.CumulativeCost(tot.RE, len(sudcs))
 	if err != nil {
 		return Result{}, err
+	}
+	re := activeRE
+	if p.Spares > 0 {
+		re, err = curve.CumulativeCost(tot.RE, len(sudcs)+p.Spares)
+		if err != nil {
+			return Result{}, err
+		}
 	}
 
 	var used units.Power
 	for _, s := range sudcs {
 		used += s.Used
 	}
-	installed := float64(p.SuDCClass) * float64(len(sudcs))
+	installed := float64(p.SuDCClass) * float64(len(sudcs)+p.Spares)
 	util := 0.0
 	if installed > 0 {
 		util = float64(used) / installed
@@ -219,5 +239,7 @@ func (p Plan) Pack() (Result, error) {
 		FleetRE:     re,
 		FleetTCO:    tot.NRE + re,
 		Utilization: util,
+		SpareUnits:  p.Spares,
+		SpareCost:   re - activeRE,
 	}, nil
 }

@@ -216,3 +216,63 @@ func TestOversizedDemandSplits(t *testing.T) {
 		t.Errorf("panoptic packs into %d SµDCs, want 4 (Table III)", len(r.SuDCs))
 	}
 }
+
+func TestSparesArePricedNearlyFree(t *testing.T) {
+	base := DefaultPlan(constellation.Default64, demandsFor(t, "Flood Detection", "Crop Monitoring", "Air Pollution"))
+	r0, err := base.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spared := base
+	spared.Spares = 2
+	r2, err := spared.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.SpareUnits != 2 || r0.SpareUnits != 0 {
+		t.Fatalf("spare units: got %d and %d, want 2 and 0", r2.SpareUnits, r0.SpareUnits)
+	}
+	if r2.SpareCost <= 0 {
+		t.Error("spares must carry a positive marginal cost")
+	}
+	if got := r2.FleetRE - r0.FleetRE; got != r2.SpareCost {
+		t.Errorf("SpareCost %v must equal the fleet RE delta %v", r2.SpareCost, got)
+	}
+	// Learning: two extra units at the deep end of the curve must cost
+	// less than two at the front (the near-free-spares argument).
+	perFirst := float64(r0.FleetRE) / float64(len(r0.SuDCs))
+	perSpare := float64(r2.SpareCost) / 2
+	if perSpare >= perFirst {
+		t.Errorf("per-spare RE %.0f must undercut mean active RE %.0f", perSpare, perFirst)
+	}
+	if r0.SpareCost != 0 {
+		t.Error("a plan without spares must report zero spare cost")
+	}
+	// Spares dilute utilization: denominator includes idle units.
+	if r2.Utilization >= r0.Utilization {
+		t.Errorf("spares must dilute utilization: %v vs %v", r2.Utilization, r0.Utilization)
+	}
+}
+
+func TestPackRejectsNegativeSpares(t *testing.T) {
+	p := DefaultPlan(constellation.Default64, demandsFor(t, "Flood Detection"))
+	p.Spares = -1
+	if _, err := p.Pack(); err == nil {
+		t.Error("negative spares must error")
+	}
+}
+
+func TestSizeErrors(t *testing.T) {
+	if _, err := (Plan{}).Size(); err == nil {
+		t.Error("empty plan must error")
+	}
+	p := DefaultPlan(constellation.Constellation{}, demandsFor(t, "Flood Detection"))
+	if _, err := p.Size(); err == nil {
+		t.Error("invalid constellation must error")
+	}
+	p = DefaultPlan(constellation.Default64, demandsFor(t, "Flood Detection"))
+	p.Demands[0].Coverage = 2
+	if _, err := p.Size(); err == nil {
+		t.Error("invalid demand must error")
+	}
+}

@@ -1,0 +1,74 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBinomialPMF checks numeric stability of the log-gamma PMF on
+// arbitrary (n, k, p): every value must be a probability in [0, 1], and
+// for valid p the distribution must sum to 1 within 1e-9.
+func FuzzBinomialPMF(f *testing.F) {
+	f.Add(10, 4, 0.5)
+	f.Add(0, 0, 0.0)
+	f.Add(350, 175, 1e-12)
+	f.Add(7, -3, 0.99)
+	f.Fuzz(func(t *testing.T, n, k int, p float64) {
+		if math.IsNaN(p) {
+			t.Skip()
+		}
+		if n < 0 {
+			n = -n
+		}
+		n %= 400 // keep the sum check fast; stability is size-independent
+		v := BinomialPMF(n, k, p)
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			t.Fatalf("BinomialPMF(%d, %d, %v) = %v out of [0,1]", n, k, p, v)
+		}
+		if p < 0 || p > 1 {
+			return
+		}
+		var sum float64
+		for i := 0; i <= n; i++ {
+			sum += BinomialPMF(n, i, p)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("PMF(n=%d, p=%v) sums to %v, want 1 ± 1e-9", n, p, sum)
+		}
+	})
+}
+
+// FuzzBinomialTail checks tail probabilities stay in [0, 1], that the
+// k ≤ 0 tail is exactly 1, and that the tail is non-increasing in k.
+func FuzzBinomialTail(f *testing.F) {
+	f.Add(10, 4, 0.5)
+	f.Add(64, 10, 0.999)
+	f.Add(3, 9, 0.1)
+	f.Fuzz(func(t *testing.T, n, k int, p float64) {
+		if math.IsNaN(p) {
+			t.Skip()
+		}
+		if n < 0 {
+			n = -n
+		}
+		n %= 400
+		v := BinomialTail(n, k, p)
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			t.Fatalf("BinomialTail(%d, %d, %v) = %v out of [0,1]", n, k, p, v)
+		}
+		if got := BinomialTail(n, 0, p); got != 1 {
+			t.Fatalf("BinomialTail(%d, 0, %v) = %v, want exactly 1", n, p, got)
+		}
+		if p < 0 || p > 1 {
+			return
+		}
+		prev := 1.0
+		for i := 0; i <= n+1; i++ {
+			tail := BinomialTail(n, i, p)
+			if tail > prev+1e-12 {
+				t.Fatalf("tail must be non-increasing in k: P(≥%d)=%v > P(≥%d)=%v", i, tail, i-1, prev)
+			}
+			prev = tail
+		}
+	})
+}

@@ -30,6 +30,15 @@ func SurvivalProb(tOverT float64) float64 {
 	return math.Exp(-tOverT)
 }
 
+// DrawLifetime samples an exponential lifetime with mean mttf (any time
+// unit) from the injected RNG — the distribution behind SurvivalProb:
+// P(L ≥ t) = SurvivalProb(t/mttf). The fault-injection engine draws
+// permanent node deaths from it so discrete-event availability can be
+// cross-checked against the closed-form binomial curves here.
+func DrawLifetime(rng *rand.Rand, mttf float64) float64 {
+	return rng.ExpFloat64() * mttf
+}
+
 // logChoose returns log C(n, k).
 func logChoose(n, k int) float64 {
 	ln1, _ := math.Lgamma(float64(n + 1))
@@ -90,6 +99,41 @@ func Availability(n, need int, tOverT float64) (float64, error) {
 		return 0, errors.New("reliability: negative time")
 	}
 	return BinomialTail(n, need, SurvivalProb(tOverT)), nil
+}
+
+// MeanAvailability returns the time-averaged availability over a run of
+// length h (in units of the MTTF T): (1/h)·∫₀ʰ P(Zₙ(t)=1) dt, evaluated
+// by composite Simpson quadrature. It is the analytic anchor for
+// DES-measured availability, which is itself a time average over the
+// simulated horizon.
+func MeanAvailability(n, need int, horizonOverT float64) (float64, error) {
+	if n < 1 || need < 1 {
+		return 0, errors.New("reliability: n and need must be ≥ 1")
+	}
+	if horizonOverT <= 0 {
+		return 0, errors.New("reliability: horizon must be positive")
+	}
+	if need > n {
+		return 0, nil
+	}
+	const steps = 512 // even, for Simpson's rule
+	h := horizonOverT / steps
+	var sum float64
+	for i := 0; i <= steps; i++ {
+		a, err := Availability(n, need, float64(i)*h)
+		if err != nil {
+			return 0, err
+		}
+		switch {
+		case i == 0 || i == steps:
+			sum += a
+		case i%2 == 1:
+			sum += 4 * a
+		default:
+			sum += 2 * a
+		}
+	}
+	return sum * h / 3 / horizonOverT, nil
 }
 
 // ExpectedWorking returns E[Z′ₙ(t)] = E[min(cap, #alive)] at time t (in

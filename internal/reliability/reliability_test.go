@@ -358,3 +358,80 @@ func TestSimulateRand(t *testing.T) {
 		t.Error("nil rng must error")
 	}
 }
+
+func TestDrawLifetimeMatchesSurvivalProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n, mttf = 20000, 3.0
+	var sum float64
+	surviving := 0
+	for i := 0; i < n; i++ {
+		l := DrawLifetime(rng, mttf)
+		if l < 0 {
+			t.Fatal("negative lifetime")
+		}
+		sum += l
+		if l >= mttf {
+			surviving++
+		}
+	}
+	if mean := sum / n; math.Abs(mean-mttf) > 0.1 {
+		t.Errorf("mean lifetime %.3f, want ≈%.1f", mean, mttf)
+	}
+	// P(L ≥ T) = SurvivalProb(1) = 1/e.
+	if got, want := float64(surviving)/n, SurvivalProb(1); math.Abs(got-want) > 0.02 {
+		t.Errorf("survival at t=T: %.3f, want ≈%.3f", got, want)
+	}
+}
+
+func TestMeanAvailability(t *testing.T) {
+	// need > n: no availability at all.
+	if a, err := MeanAvailability(3, 5, 1); err != nil || a != 0 {
+		t.Errorf("need > n: got (%v, %v), want (0, nil)", a, err)
+	}
+	// Single node, need 1: (1/h)∫₀ʰ e^{-t} dt = (1 − e^{-h})/h.
+	h := 0.5
+	got, err := MeanAvailability(1, 1, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 - math.Exp(-h)) / h
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("MeanAvailability(1,1,%v) = %.8f, want %.8f", h, got, want)
+	}
+	// Monotone in n: every spare raises the time average.
+	prev := 0.0
+	for n := 4; n <= 8; n++ {
+		a, err := MeanAvailability(n, 4, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a <= prev {
+			t.Errorf("n=%d: mean availability %.4f must exceed n=%d's %.4f", n, a, n-1, prev)
+		}
+		if a > 1 {
+			t.Errorf("n=%d: mean availability %v > 1", n, a)
+		}
+		prev = a
+	}
+	// A shorter horizon averages over healthier times.
+	short, _ := MeanAvailability(4, 4, 0.1)
+	long, _ := MeanAvailability(4, 4, 2)
+	if short <= long {
+		t.Errorf("shorter horizon must average higher: %.4f vs %.4f", short, long)
+	}
+}
+
+func TestMeanAvailabilityErrors(t *testing.T) {
+	if _, err := MeanAvailability(0, 1, 1); err == nil {
+		t.Error("n < 1 must error")
+	}
+	if _, err := MeanAvailability(4, 0, 1); err == nil {
+		t.Error("need < 1 must error")
+	}
+	if _, err := MeanAvailability(4, 2, 0); err == nil {
+		t.Error("zero horizon must error")
+	}
+	if _, err := MeanAvailability(4, 2, -1); err == nil {
+		t.Error("negative horizon must error")
+	}
+}
