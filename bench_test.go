@@ -18,7 +18,8 @@ import (
 	"sudc/internal/experiments"
 	"sudc/internal/faults"
 	"sudc/internal/netsim"
-	"sudc/internal/par"
+	"sudc/internal/obs"
+	"sudc/internal/par/partest"
 	"sudc/internal/reliability"
 	"sudc/internal/workload"
 )
@@ -141,8 +142,7 @@ var benchWorkers = []int{1, 2, 4, 8}
 func BenchmarkDSEParallel(b *testing.B) {
 	for _, w := range benchWorkers {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			prev := par.SetDefaultWorkers(w)
-			defer par.SetDefaultWorkers(prev)
+			partest.WithDefaultWorkers(b, w)
 			for i := 0; i < b.N; i++ {
 				if _, err := dse.Explore(workload.Suite, accel.RTX3090Baseline); err != nil {
 					b.Fatal(err)
@@ -157,8 +157,7 @@ func BenchmarkDSEParallel(b *testing.B) {
 func BenchmarkMonteCarloParallel(b *testing.B) {
 	for _, w := range benchWorkers {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			prev := par.SetDefaultWorkers(w)
-			defer par.SetDefaultWorkers(prev)
+			partest.WithDefaultWorkers(b, w)
 			for i := 0; i < b.N; i++ {
 				if _, _, err := reliability.Simulate(30, 10, 1.25, 200000, 42); err != nil {
 					b.Fatal(err)
@@ -206,6 +205,21 @@ func BenchmarkExtOverprovision(b *testing.B) { benchExtension(b, "Extension E7")
 func BenchmarkNetsim(b *testing.B) {
 	c := netsim.DefaultConfig(workload.Suite[0])
 	for i := 0; i < b.N; i++ {
+		if _, err := netsim.Run(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetsimObserved is BenchmarkNetsim with a metrics registry
+// attached — the overhead of full observability (series sampled every
+// simulated minute, latency histogram, end-of-run counters) relative to
+// the BENCH_netsim.json baseline; tracked in BENCH_obs.json with a <5%
+// budget.
+func BenchmarkNetsimObserved(b *testing.B) {
+	c := netsim.DefaultConfig(workload.Suite[0])
+	for i := 0; i < b.N; i++ {
+		c.Obs = obs.New()
 		if _, err := netsim.Run(c); err != nil {
 			b.Fatal(err)
 		}

@@ -10,6 +10,9 @@
 //	experiments -extensions # run the beyond-the-paper extension studies
 //	experiments -parallel   # run independent exhibits concurrently
 //	experiments -parallel -workers 4
+//	experiments -metrics    # append per-exhibit timing + engine metrics
+//	experiments -trace      # stream span trace lines as exhibits finish
+//	experiments -pprof localhost:6060
 //
 // -parallel produces byte-identical output to a serial run for any
 // worker count; only wall-clock time changes.
@@ -23,6 +26,8 @@ import (
 	"strings"
 
 	"sudc/internal/experiments"
+	"sudc/internal/obs"
+	"sudc/internal/par"
 )
 
 func main() {
@@ -41,8 +46,33 @@ func run(args []string, out io.Writer) error {
 	extensions := fs.Bool("extensions", false, "run the beyond-the-paper extension studies instead")
 	parallel := fs.Bool("parallel", false, "run independent exhibits concurrently (identical output)")
 	workers := fs.Int("workers", 0, "worker count for -parallel (default GOMAXPROCS)")
+	metrics := fs.Bool("metrics", false, "append per-exhibit timing and engine metrics")
+	trace := fs.Bool("trace", false, "stream span trace lines as exhibits finish")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		addr, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "pprof: serving on http://%s/debug/pprof/\n", addr)
+	}
+	var reg *obs.Registry
+	if *metrics || *trace {
+		reg = obs.New()
+		if *trace {
+			reg.SetTraceWriter(out)
+		}
+		// The DSE behind Figure 17 and the parallel engine report through
+		// process-wide hooks; uninstall them on return so run() stays
+		// reusable (tests call it repeatedly in one process).
+		obs.SetGlobal(reg)
+		defer obs.SetGlobal(nil)
+		par.SetObserver(obs.NewEngineMetrics(reg.Scope("par")))
+		defer par.SetObserver(nil)
 	}
 
 	everything := append(append(experiments.All(), experiments.Ablations()...),
@@ -78,21 +108,34 @@ func run(args []string, out io.Writer) error {
 	if *parallel {
 		// Collect every table before printing so output is byte-identical
 		// to the serial path regardless of completion order.
-		tables, err := experiments.RunAll(toRun, *workers)
+		tables, err := experiments.RunAllObserved(toRun, *workers, reg)
 		if err != nil {
 			return err
 		}
 		for _, tbl := range tables {
 			fmt.Fprintln(out, tbl)
 		}
-		return nil
+		return printMetrics(out, *metrics, reg)
 	}
 	for _, e := range toRun {
+		sp := reg.StartSpan("experiments/" + e.ID)
 		tbl, err := e.Run()
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Fprintln(out, tbl)
 	}
-	return nil
+	return printMetrics(out, *metrics, reg)
+}
+
+// printMetrics appends the registry snapshot to the report when -metrics
+// is set. Wall-clock span durations are included: this output is for
+// humans, not golden files.
+func printMetrics(out io.Writer, enabled bool, reg *obs.Registry) error {
+	if !enabled {
+		return nil
+	}
+	_, err := fmt.Fprintf(out, "metrics:\n%s", reg.Snapshot(obs.WithWall()).String())
+	return err
 }

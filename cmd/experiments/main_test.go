@@ -75,6 +75,48 @@ func TestParallelGoldenOutput(t *testing.T) {
 	}
 }
 
+func TestMetricsFlagSerial(t *testing.T) {
+	out := runCmd(t, "-only", "Figure 12", "-metrics")
+	for _, want := range []string{
+		"metrics:",
+		"span experiments/Figure 12 count=1",
+		"wall_ms=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsFlagParallelRecordsEngine(t *testing.T) {
+	out := runCmd(t, "-only", "Figure 12", "-parallel", "-metrics")
+	for _, want := range []string{
+		"counter experiments/exhibits 1",
+		"counter par/runs",
+		"counter par/items",
+		"span experiments/Figure 12 count=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-parallel -metrics output missing %q:\n%s", want, out)
+		}
+	}
+	// The observer must be uninstalled on return: a later run without
+	// -metrics prints no metrics section.
+	if plain := runCmd(t, "-only", "Figure 12"); strings.Contains(plain, "metrics:") {
+		t.Error("metrics must be opt-in per invocation")
+	}
+}
+
+func TestTraceFlag(t *testing.T) {
+	out := runCmd(t, "-only", "Figure 12", "-trace")
+	if !strings.Contains(out, "trace experiments/Figure 12 wall=") {
+		t.Errorf("-trace must stream the exhibit span:\n%s", out)
+	}
+	if strings.Contains(out, "metrics:") {
+		t.Error("-trace alone must not append the snapshot")
+	}
+}
+
 func TestBadFlag(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-bogus"}, &b); err == nil {

@@ -24,7 +24,15 @@
 //	-outage-dur s    mean ISL outage duration in seconds (default 60)
 //	-spares n        spare workers beyond the sized need (default 0)
 //	-retries n       ISL retry budget per frame, 0 = unlimited (default 8)
-//	-shed n          input-queue length that triggers load shedding (0 = off)
+//	-shed n          input-queue length that triggers load shedding
+//	                 (0 = off, -1 = shed every queued frame)
+//
+// Observability:
+//
+//	-metrics         print the run's metric snapshot (counters, queue-depth /
+//	                 availability / retry time series, latency histogram)
+//	-trace           stream span trace lines as stages complete
+//	-pprof addr      serve net/http/pprof on addr (e.g. localhost:6060)
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 
 	"sudc/internal/faults"
 	"sudc/internal/netsim"
+	"sudc/internal/obs"
 	"sudc/internal/units"
 	"sudc/internal/workload"
 )
@@ -65,9 +74,27 @@ func run(args []string, out io.Writer) error {
 	outageDurS := fs.Float64("outage-dur", 60, "mean ISL outage duration in seconds")
 	spares := fs.Int("spares", 0, "spare workers beyond the sized need")
 	retries := fs.Int("retries", 8, "ISL retry budget per frame (0 = unlimited)")
-	shed := fs.Int("shed", 0, "input-queue length that triggers load shedding (0 = off)")
+	shed := fs.Int("shed", 0, "input-queue length that triggers load shedding (0 = off, -1 = shed everything)")
+	metrics := fs.Bool("metrics", false, "print the run's metric snapshot")
+	trace := fs.Bool("trace", false, "stream span trace lines as stages complete")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		addr, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "pprof: serving on http://%s/debug/pprof/\n", addr)
+	}
+	var reg *obs.Registry
+	if *metrics || *trace {
+		reg = obs.New()
+		if *trace {
+			reg.SetTraceWriter(out)
+		}
 	}
 
 	app, err := workload.ByName(*appName)
@@ -103,8 +130,12 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg.RetryLimit = *retries
 	cfg.ShedThreshold = *shed
+	cfg.Obs = reg.Scope("netsim")
 
+	sp := reg.StartSpan("sudcsim/run")
+	sp.SetSim(cfg.Duration.Seconds())
 	s, err := netsim.Run(cfg)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -135,6 +166,9 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "\n  → the SµDC keeps up with the constellation")
 	} else {
 		fmt.Fprintln(out, "\n  → UNDERSIZED: the SµDC falls behind")
+	}
+	if *metrics {
+		fmt.Fprintf(out, "\nmetrics:\n%s", reg.Snapshot().String())
 	}
 	return nil
 }

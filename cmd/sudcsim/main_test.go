@@ -83,6 +83,61 @@ func TestFaultFreeRunOmitsFaultBlock(t *testing.T) {
 	}
 }
 
+func TestMetricsFlagPrintsFaultedTimeSeries(t *testing.T) {
+	out := runSim(t, "-app", "Air Pollution", "-satellites", "2", "-hours", "1",
+		"-outage", "10", "-outage-dur", "60", "-metrics")
+	for _, want := range []string{
+		"metrics:",
+		"series netsim/queue/depth",
+		"series netsim/availability",
+		"series netsim/retries",
+		"counter netsim/frames/generated",
+		"counter netsim/events/outage_start",
+		"histogram netsim/latency_s",
+		"histogram netsim/retry/backoff_s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsOffByDefault(t *testing.T) {
+	out := runSim(t, "-hours", "0.2")
+	if strings.Contains(out, "metrics:") {
+		t.Error("metrics must be opt-in")
+	}
+}
+
+func TestTraceFlagStreamsSpans(t *testing.T) {
+	out := runSim(t, "-hours", "0.2", "-trace")
+	if !strings.Contains(out, "trace sudcsim/run wall=") || !strings.Contains(out, "sim=720s") {
+		t.Errorf("-trace must stream the run span with simulated time:\n%s", out)
+	}
+}
+
+func TestShedAllFlag(t *testing.T) {
+	out := runSim(t, "-app", "Panoptic Segmentation", "-hours", "0.5", "-shed", "-1", "-metrics")
+	if !strings.Contains(out, "counter netsim/frames/processed 0\n") {
+		t.Errorf("-shed -1 must starve the workers:\n%s", out)
+	}
+	var b strings.Builder
+	if err := run([]string{"-shed", "-2"}, &b); err == nil {
+		t.Error("shed threshold below ShedAll must error")
+	}
+}
+
+func TestPprofFlag(t *testing.T) {
+	out := runSim(t, "-hours", "0.2", "-pprof", "127.0.0.1:0")
+	if !strings.Contains(out, "pprof: serving on http://127.0.0.1:") {
+		t.Errorf("-pprof must report the bound address:\n%s", out)
+	}
+	var b strings.Builder
+	if err := run([]string{"-pprof", "not-an-address"}, &b); err == nil {
+		t.Error("unbindable pprof address must error")
+	}
+}
+
 func TestBadFaultFlags(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-spares", "-1"}, &b); err == nil {

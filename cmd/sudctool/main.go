@@ -17,6 +17,9 @@
 //	-seer            price with the SEER-like parameter set instead
 //	-units n         also price a production run of n units (Wright b=0.75)
 //	-json            emit a machine-readable JSON report instead of text
+//	-metrics         append design/cost gauges and stage timings
+//	-trace           stream span trace lines as stages complete
+//	-pprof addr      serve net/http/pprof on addr (e.g. localhost:6060)
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"sudc/internal/compress"
 	"sudc/internal/core"
 	"sudc/internal/hardware"
+	"sudc/internal/obs"
 	"sudc/internal/orbit"
 	"sudc/internal/sscm"
 	"sudc/internal/units"
@@ -56,8 +60,26 @@ func run(args []string, out io.Writer) error {
 	seer := fs.Bool("seer", false, "use the SEER-like cost parameter set")
 	nUnits := fs.Int("units", 1, "production run length for Wright's-law pricing")
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON report")
+	metrics := fs.Bool("metrics", false, "append design/cost gauges and stage timings")
+	trace := fs.Bool("trace", false, "stream span trace lines as stages complete")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		addr, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "pprof: serving on http://%s/debug/pprof/\n", addr)
+	}
+	var reg *obs.Registry
+	if *metrics || *trace {
+		reg = obs.New()
+		if *trace {
+			reg.SetTraceWriter(out)
+		}
 	}
 
 	cfg := core.DefaultConfig(units.KW(*powerKW))
@@ -85,13 +107,22 @@ func run(args []string, out io.Writer) error {
 		cfg.CostModel = sscm.Alt()
 	}
 
+	sp := reg.StartSpan("sudctool/build")
 	d, err := cfg.Build()
+	sp.End()
 	if err != nil {
 		return err
 	}
+	reg.Gauge("design/wet_mass_kg").Set(d.WetMass.Kilograms())
+	reg.Gauge("design/dry_mass_kg").Set(d.DryMass.Kilograms())
+	reg.Gauge("design/eol_power_w").Set(float64(d.EOLPower))
+	reg.Gauge("design/radiator_m2").Set(d.Thermal.Area.SquareMeters())
 
 	if *asJSON {
-		return writeJSON(out, cfg, d)
+		if err := writeJSON(out, cfg, d); err != nil {
+			return err
+		}
+		return printMetrics(out, *metrics, reg)
 	}
 
 	fmt.Fprintf(out, "SµDC design — %s compute (%s), %s, %v lifetime\n\n",
@@ -110,7 +141,9 @@ func run(args []string, out io.Writer) error {
 			it.Name, it.Mass.Kilograms(), 100*float64(it.Mass)/float64(d.WetMass))
 	}
 
+	sp = reg.StartSpan("sudctool/cost")
 	b, err := d.Cost()
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -131,7 +164,17 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  %d-unit run (b=0.75): total %s, marginal unit %s\n",
 			*nUnits, tot.NRE+cum, last)
 	}
-	return nil
+	return printMetrics(out, *metrics, reg)
+}
+
+// printMetrics appends the registry snapshot when -metrics is set. Wall
+// span durations are included: this output is for humans, not goldens.
+func printMetrics(out io.Writer, enabled bool, reg *obs.Registry) error {
+	if !enabled {
+		return nil
+	}
+	_, err := fmt.Fprintf(out, "\nmetrics:\n%s", reg.Snapshot(obs.WithWall()).String())
+	return err
 }
 
 // jsonReport is the machine-readable output of -json.

@@ -96,6 +96,39 @@ func TestInvalidPower(t *testing.T) {
 	}
 }
 
+func TestMetricsFlag(t *testing.T) {
+	out := runTool(t, "-metrics")
+	for _, want := range []string{
+		"metrics:",
+		"gauge design/wet_mass_kg",
+		"gauge design/eol_power_w",
+		"span sudctool/build count=1",
+		"span sudctool/cost count=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-metrics output missing %q:\n%s", want, out)
+		}
+	}
+	if plain := runTool(t); strings.Contains(plain, "metrics:") {
+		t.Error("metrics must be opt-in")
+	}
+}
+
+func TestTraceFlag(t *testing.T) {
+	out := runTool(t, "-trace")
+	if !strings.Contains(out, "trace sudctool/build wall=") ||
+		!strings.Contains(out, "trace sudctool/cost wall=") {
+		t.Errorf("-trace must stream build and cost spans:\n%s", out)
+	}
+}
+
+func TestBadPprofAddr(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-pprof", "not-an-address"}, &b); err == nil {
+		t.Error("unbindable pprof address must error")
+	}
+}
+
 func TestJSONOutput(t *testing.T) {
 	out := runTool(t, "-json")
 	var report map[string]any

@@ -15,7 +15,9 @@ import (
 	"sudc/internal/experiments"
 	"sudc/internal/faults"
 	"sudc/internal/netsim"
+	"sudc/internal/obs"
 	"sudc/internal/par"
+	"sudc/internal/par/partest"
 	"sudc/internal/workload"
 )
 
@@ -72,11 +74,10 @@ func TestExtensionsInvariantUnderWorkerCount(t *testing.T) {
 }
 
 func TestDefaultWorkerOverrideRoundTrips(t *testing.T) {
-	prev := par.SetDefaultWorkers(3)
+	partest.WithDefaultWorkers(t, 3)
 	if par.DefaultWorkers() != 3 {
 		t.Errorf("DefaultWorkers = %d after override, want 3", par.DefaultWorkers())
 	}
-	par.SetDefaultWorkers(prev)
 }
 
 func TestFaultInjectionInvariantUnderWorkerCount(t *testing.T) {
@@ -109,6 +110,68 @@ func TestFaultInjectionInvariantUnderWorkerCount(t *testing.T) {
 		}
 		if !reflect.DeepEqual(ref, got) {
 			t.Errorf("workers=%d: fault-injected replica stats differ from workers=1", w)
+		}
+	}
+}
+
+func TestObsSnapshotInvariantUnderWorkerCount(t *testing.T) {
+	// The observability stream extends the determinism contract: replica
+	// metrics are sampled on the simulated clock and written under
+	// per-replica scopes, so the merged default snapshot must be
+	// byte-identical for any worker count.
+	c := netsim.DefaultConfig(workload.Suite[0])
+	c.Constellation = constellation.Constellation{Satellites: 2, FramesPerMinute: 6}
+	c.Workers = 5
+	c.NeedWorkers = 4
+	c.BatchSize = 4
+	c.BatchTimeout = 30 * time.Second
+	c.Duration = time.Hour
+	c.Faults = faults.Scenario{
+		NodeMTTF:          2 * time.Hour,
+		ISLOutageMTBF:     30 * time.Minute,
+		ISLOutageDuration: time.Minute,
+	}
+	c.Seed = 9
+	snap := func(workers int) string {
+		reg := obs.New()
+		cc := c
+		cc.Obs = reg.Scope("netsim")
+		if _, err := netsim.RunReplicas(cc, 12, workers); err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot().String()
+	}
+	ref := snap(1)
+	if !strings.Contains(ref, "netsim/r000/availability") ||
+		!strings.Contains(ref, "netsim/r011/availability") {
+		t.Fatalf("replica scopes missing from snapshot:\n%s", ref)
+	}
+	for _, w := range []int{2, 8} {
+		if got := snap(w); got != ref {
+			t.Errorf("workers=%d: merged metric snapshot differs from workers=1", w)
+		}
+	}
+}
+
+func TestExperimentObsInvariantUnderWorkerCount(t *testing.T) {
+	// RunAllObserved's deterministic sections (exhibit counter, span
+	// counts, simulated durations) must not vary with the worker count;
+	// only wall times may, and those stay out of the default snapshot.
+	exps := experiments.All()[:6]
+	snap := func(workers int) string {
+		reg := obs.New()
+		if _, err := experiments.RunAllObserved(exps, workers, reg); err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot().String()
+	}
+	ref := snap(1)
+	if !strings.Contains(ref, "counter experiments/exhibits 6") {
+		t.Fatalf("exhibit counter missing:\n%s", ref)
+	}
+	for _, w := range []int{2, 8} {
+		if got := snap(w); got != ref {
+			t.Errorf("workers=%d: experiment metric snapshot differs from workers=1", w)
 		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"sudc/internal/accel"
+	"sudc/internal/obs"
 	"sudc/internal/par"
 	"sudc/internal/workload"
 )
@@ -159,6 +160,12 @@ func Explore(apps []workload.App, gpu accel.GPUModel) (Result, error) {
 	if len(apps) == 0 {
 		return Result{}, errors.New("dse: no applications")
 	}
+	// The DSE has no natural injection point for a registry, so it
+	// records into the process-wide one (nil when observability is off;
+	// all calls below are then no-ops). Everything recorded here sits
+	// outside the energy-sweep hot loop.
+	sp := obs.Global().StartSpan("dse/explore")
+	defer sp.End()
 
 	// Deduplicate networks, remembering the highest-utilization app per
 	// network (conservative baseline).
@@ -236,6 +243,9 @@ func Explore(apps []workload.App, gpu accel.GPUModel) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	obs.Global().Counter("dse/designs_evaluated").Add(int64(len(space)))
+	obs.Global().Counter("dse/layer_energies").Add(int64(len(space) * len(shapes)))
+	obs.Global().Gauge("dse/networks").Set(float64(len(nets)))
 
 	// Global optimum: minimize geomean energy across all layers (the
 	// paper: "geometric mean of each design's energy efficiency on all

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 
+	"sudc/internal/obs"
 	"sudc/internal/par"
 )
 
@@ -128,13 +129,26 @@ func All() []Experiment {
 // the engine default (GOMAXPROCS). The first failing exhibit (lowest
 // index among those observed) aborts the run.
 func RunAll(exps []Experiment, workers int) ([]Table, error) {
-	return par.MapErr(exps, func(e Experiment) (Table, error) {
+	return RunAllObserved(exps, workers, nil)
+}
+
+// RunAllObserved is RunAll with per-exhibit span timing recorded into
+// reg (nil disables recording; spans are aggregated under
+// "experiments/<ID>" plus a total exhibit counter).
+func RunAllObserved(exps []Experiment, workers int, reg *obs.Registry) ([]Table, error) {
+	tables, err := par.MapErr(exps, func(e Experiment) (Table, error) {
+		sp := reg.StartSpan("experiments/" + e.ID)
 		t, err := e.Run()
+		sp.End()
 		if err != nil {
 			return Table{}, fmt.Errorf("%s: %w", e.ID, err)
 		}
 		return t, nil
 	}, par.Workers(workers))
+	if err == nil {
+		reg.Counter("experiments/exhibits").Add(int64(len(exps)))
+	}
+	return tables, err
 }
 
 // ByID finds an experiment by its exhibit ID.

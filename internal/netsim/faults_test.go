@@ -275,7 +275,7 @@ func TestValidateFaultFields(t *testing.T) {
 		{"negative backoff", func(c *Config) { c.RetryBackoff = -time.Second }},
 		{"negative cap", func(c *Config) { c.RetryBackoffCap = -time.Second }},
 		{"backoff beyond cap", func(c *Config) { c.RetryBackoff = 2 * c.RetryBackoffCap }},
-		{"negative shed", func(c *Config) { c.ShedThreshold = -1 }},
+		{"shed below ShedAll", func(c *Config) { c.ShedThreshold = ShedAll - 1 }},
 	}
 	for _, tt := range tests {
 		c := DefaultConfig(mustApp(t, "Air Pollution"))

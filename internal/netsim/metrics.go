@@ -1,0 +1,134 @@
+package netsim
+
+import (
+	"time"
+
+	"sudc/internal/obs"
+)
+
+// DefaultSampleEvery is the simulated-time sampling period for the
+// observability time series when Config.SampleEvery is zero.
+const DefaultSampleEvery = time.Minute
+
+// Histogram bucket bounds, in seconds.
+var (
+	latencyBuckets = []float64{1, 2, 5, 10, 30, 60, 120, 300, 600, 1800, 3600}
+	backoffBuckets = []float64{0.001, 0.01, 0.1, 0.5, 1, 2, 5, 10, 30, 60, 120}
+)
+
+// eventNames maps event kinds to observability counter names.
+var eventNames = [...]string{
+	evFrameReady:  "events/frame_ready",
+	evISLDone:     "events/isl_done",
+	evBatchDone:   "events/batch_done",
+	evBatchingOut: "events/batch_timeout",
+	evISLRetry:    "events/isl_retry",
+	evOutageStart: "events/outage_start",
+	evOutageEnd:   "events/outage_end",
+	evWorkerDeath: "events/worker_death",
+	evSEFIStart:   "events/sefi_start",
+	evSEFIEnd:     "events/sefi_end",
+}
+
+// sampleState is the simulator state visible to the series sampler at
+// one simulated instant.
+type sampleState struct {
+	t            float64 // simulated seconds
+	inputQueue   int     // frames waiting for a batch slot
+	islQueue     int     // frames waiting for (or crossing) the link
+	backlog      int     // frames in flight anywhere in the pipeline
+	effective    int     // workers neither dead nor hung
+	availability float64 // availability integral over [0, t]
+	retried      int     // cumulative failed-and-retried ISL attempts
+	shed         int     // cumulative load-shed frames
+}
+
+// recorder writes one run's observability stream: per-event counters,
+// the latency and retry-backoff histograms, and time series sampled on
+// a fixed simulated-time grid. Because every sample is keyed to the
+// simulated clock, a run's recorded stream is byte-identical for any
+// process worker count — the determinism contract of PR 1/2 extends to
+// the metrics.
+type recorder struct {
+	period float64 // grid spacing, simulated seconds
+	next   float64 // next grid point to sample
+
+	queueDepth *obs.Series
+	islDepth   *obs.Series
+	backlog    *obs.Series
+	effective  *obs.Series
+	avail      *obs.Series
+	retried    *obs.Series
+	shed       *obs.Series
+
+	latency *obs.Histogram
+	backoff *obs.Histogram
+}
+
+func newRecorder(reg *obs.Registry, every time.Duration) *recorder {
+	period := every.Seconds()
+	if period <= 0 {
+		period = DefaultSampleEvery.Seconds()
+	}
+	return &recorder{
+		period:     period,
+		next:       period,
+		queueDepth: reg.Series("queue/depth"),
+		islDepth:   reg.Series("queue/isl"),
+		backlog:    reg.Series("backlog"),
+		effective:  reg.Series("workers/effective"),
+		avail:      reg.Series("availability"),
+		retried:    reg.Series("retries"),
+		shed:       reg.Series("shed"),
+		latency:    reg.Histogram("latency_s", latencyBuckets...),
+		backoff:    reg.Histogram("retry/backoff_s", backoffBuckets...),
+	}
+}
+
+func (r *recorder) record(s sampleState) {
+	r.queueDepth.Sample(s.t, float64(s.inputQueue))
+	r.islDepth.Sample(s.t, float64(s.islQueue))
+	r.backlog.Sample(s.t, float64(s.backlog))
+	r.effective.Sample(s.t, float64(s.effective))
+	r.avail.Sample(s.t, s.availability)
+	r.retried.Sample(s.t, float64(s.retried))
+	r.shed.Sample(s.t, float64(s.shed))
+}
+
+// catchUp samples every grid point strictly before simulated time t,
+// using state — the state valid since the previously applied event.
+func (r *recorder) catchUp(t float64, state func(t float64) sampleState) {
+	for r.next < t {
+		r.record(state(r.next))
+		r.next += r.period
+	}
+}
+
+// finish samples the remaining grid points through the horizon.
+func (r *recorder) finish(horizon float64, state func(t float64) sampleState) {
+	for r.next <= horizon {
+		r.record(state(r.next))
+		r.next += r.period
+	}
+}
+
+// flush writes the run's end-of-run counters and gauges.
+func (r *recorder) flush(reg *obs.Registry, s Stats, evCount []int64) {
+	reg.Counter("frames/generated").Add(int64(s.FramesGenerated))
+	reg.Counter("frames/processed").Add(int64(s.FramesProcessed))
+	reg.Counter("frames/insights").Add(int64(s.InsightsDownlinked))
+	reg.Counter("frames/retried").Add(int64(s.FramesRetried))
+	reg.Counter("frames/redispatched").Add(int64(s.FramesRedispatched))
+	reg.Counter("frames/shed").Add(int64(s.FramesShed))
+	reg.Counter("frames/lost").Add(int64(s.FramesLost))
+	for kind, n := range evCount {
+		if n > 0 {
+			reg.Counter(eventNames[kind]).Add(n)
+		}
+	}
+	reg.Gauge("availability_final").Set(s.Availability)
+	reg.Gauge("degraded_fraction").Set(s.DegradedFraction)
+	reg.Gauge("utilization/isl").Set(s.ISLUtilization)
+	reg.Gauge("utilization/workers").Set(s.WorkerUtilization)
+	reg.Gauge("queue/max").Set(float64(s.MaxInputQueue))
+}

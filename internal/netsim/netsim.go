@@ -33,10 +33,18 @@ import (
 
 	"sudc/internal/constellation"
 	"sudc/internal/faults"
+	"sudc/internal/obs"
 	"sudc/internal/par"
 	"sudc/internal/units"
 	"sudc/internal/workload"
 )
+
+// ShedAll is the ShedThreshold sentinel for a threshold of literally
+// zero: every frame landing in the input queue is immediately shed (the
+// queue is never allowed to hold a frame). The zero value 0 means
+// shedding is disabled, so an explicit zero threshold needs its own
+// spelling.
+const ShedAll = -1
 
 // Config describes one simulation run.
 type Config struct {
@@ -78,8 +86,22 @@ type Config struct {
 	RetryBackoff    time.Duration
 	RetryBackoffCap time.Duration
 	// ShedThreshold sheds the lowest-value queued frame whenever the
-	// input queue grows beyond it (0 = no shedding).
+	// input queue grows beyond it. The zero value disables shedding;
+	// use ShedAll (-1) for an explicit threshold of zero, which sheds
+	// every queued frame. Values below ShedAll are invalid.
 	ShedThreshold int
+
+	// Obs, when non-nil, receives this run's observability stream:
+	// frame counters, the latency and retry-backoff histograms, and
+	// queue-depth/backlog/retry/shed/availability time series sampled
+	// on the simulated clock every SampleEvery. Because sampling is
+	// keyed to simulated time only, the stream is byte-identical for
+	// any process worker count. Each run needs its own registry or
+	// scope; RunReplicas scopes one per replica automatically.
+	Obs *obs.Registry
+	// SampleEvery is the simulated-time sampling period for the Obs
+	// time series (0 = DefaultSampleEvery; negative is invalid).
+	SampleEvery time.Duration
 }
 
 // DefaultConfig simulates the paper's reference scenario for one app: the
@@ -156,8 +178,11 @@ func (c Config) Validate() error {
 	if c.RetryBackoffCap > 0 && c.RetryBackoff > c.RetryBackoffCap {
 		return errors.New("netsim: retry backoff exceeds its cap")
 	}
-	if c.ShedThreshold < 0 {
-		return errors.New("netsim: negative shed threshold")
+	if c.ShedThreshold < ShedAll {
+		return fmt.Errorf("netsim: shed threshold %d below ShedAll (%d)", c.ShedThreshold, ShedAll)
+	}
+	if c.SampleEvery < 0 {
+		return errors.New("netsim: negative sample period")
 	}
 	return nil
 }
@@ -289,6 +314,11 @@ func RunReplicas(c Config, replicas, workers int) ([]Stats, error) {
 	err := par.ForNErr(replicas, func(r int) error {
 		cc := c
 		cc.Seed = par.ForkSeed(c.Seed, r)
+		if c.Obs != nil {
+			// Each replica writes disjoint names into the shared store,
+			// so the merged snapshot is identical for any worker count.
+			cc.Obs = c.Obs.Scope(fmt.Sprintf("r%03d", r))
+		}
 		s, err := Run(cc)
 		if err != nil {
 			return err
@@ -346,6 +376,17 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 	if backoffCap < backoffBase {
 		backoffCap = backoffBase
 	}
+	// capDoublings is the attempt count at which the exponential backoff
+	// saturates at its cap. Clamping the exponent *before* the doubling
+	// is applied guards the float64 math: under RetryLimit 0 a frame can
+	// accumulate thousands of failed attempts across a long ISL outage,
+	// and an unguarded 2^(tries-1) overflows to +Inf — one zero or NaN
+	// ingredient away from a corrupted event timestamp that would break
+	// the event-queue ordering.
+	capDoublings := int(math.Ceil(math.Log2(backoffCap / backoffBase)))
+	if capDoublings < 0 {
+		capDoublings = 0
+	}
 
 	var (
 		q            eventQueue
@@ -401,6 +442,37 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 		}
 	}
 
+	// Observability: series are sampled on the simulated-time grid,
+	// counters and histograms accumulate as events fire. evCount stays
+	// a plain local array so the hot loop pays one increment per event
+	// whether or not metrics are enabled.
+	var rec *recorder
+	var evCount [len(eventNames)]int64
+	if c.Obs != nil {
+		rec = newRecorder(c.Obs, c.SampleEvery)
+	}
+	sampleAt := func(t float64) sampleState {
+		up := upTime
+		if effective >= need && t > lastT {
+			up += t - lastT
+		}
+		avail := 1.0
+		if t > 0 {
+			avail = up / t
+		}
+		return sampleState{
+			t:          t,
+			inputQueue: len(inputQueue),
+			islQueue:   len(islQueue),
+			backlog: stats.FramesGenerated - stats.FramesProcessed -
+				stats.FramesShed - stats.FramesLost,
+			effective:    effective,
+			availability: avail,
+			retried:      stats.FramesRetried,
+			shed:         stats.FramesShed,
+		}
+	}
+
 	// Seed per-satellite frame generation with random phase.
 	for s := 0; s < c.Constellation.Satellites; s++ {
 		push(event{at: rng.Float64() * framePeriod, kind: evFrameReady, who: s})
@@ -419,7 +491,11 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 	}
 
 	backoff := func(tries int) float64 {
-		d := backoffBase * math.Pow(2, float64(tries-1))
+		k := tries - 1
+		if k >= capDoublings {
+			return backoffCap
+		}
+		d := math.Ldexp(backoffBase, k)
 		if d > backoffCap {
 			d = backoffCap
 		}
@@ -438,7 +514,11 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 		}
 		stats.FramesRetried++
 		retryArmed = true
-		push(event{at: now + backoff(f.tries), kind: evISLRetry})
+		delay := backoff(f.tries)
+		if rec != nil {
+			rec.backoff.Observe(delay)
+		}
+		push(event{at: now + delay, kind: evISLRetry})
 	}
 
 	// attemptISL starts the head frame's transfer, or fails it into
@@ -459,9 +539,14 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 
 	// addToInput lands a frame in the batching queue, shedding the
 	// lowest-value frame when the queue outgrows the threshold.
+	shedEnabled := c.ShedThreshold != 0
+	shedLimit := c.ShedThreshold
+	if c.ShedThreshold == ShedAll {
+		shedLimit = 0
+	}
 	addToInput := func(f frame) {
 		inputQueue = append(inputQueue, f)
-		if c.ShedThreshold > 0 && len(inputQueue) > c.ShedThreshold {
+		if shedEnabled && len(inputQueue) > shedLimit {
 			low := 0
 			for i := 1; i < len(inputQueue); i++ {
 				if inputQueue[i].value < inputQueue[low].value {
@@ -519,8 +604,12 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 		if e.at > horizon {
 			break
 		}
+		if rec != nil {
+			rec.catchUp(e.at, sampleAt)
+		}
 		now = e.at
 		accrue(now)
+		evCount[e.kind]++
 		switch e.kind {
 		case evFrameReady:
 			stats.FramesGenerated++
@@ -622,6 +711,9 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 			stats.FramesProcessed += len(w.batch)
 			for _, f := range w.batch {
 				latencies = append(latencies, now-f.born)
+				if rec != nil {
+					rec.latency.Observe(now - f.born)
+				}
 				if f.value >= 1-c.InsightFraction {
 					stats.InsightsDownlinked++
 				}
@@ -633,6 +725,11 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 			timeoutArmed = false
 			dispatch(true)
 		}
+	}
+	if rec != nil {
+		// Sample the remaining grid points before the final accrual so
+		// the availability integral at each point covers exactly [0, t].
+		rec.finish(horizon, sampleAt)
 	}
 	accrue(horizon)
 
@@ -654,5 +751,8 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 	stats.ISLDowntime = time.Duration(islDownSum * float64(time.Second))
 	stats.DegradedFraction = units.Clamp(degradedTime/horizon, 0, 1)
 	stats.Availability = units.Clamp(upTime/horizon, 0, 1)
+	if rec != nil {
+		rec.flush(c.Obs, stats, evCount[:])
+	}
 	return stats, nil
 }

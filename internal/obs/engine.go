@@ -1,0 +1,58 @@
+package obs
+
+import "time"
+
+// EngineMetrics adapts a registry to the parallel engine's observer
+// hook (par.SetObserver) without either package importing the other:
+// it structurally satisfies par.Observer.
+//
+// Recorded metrics: counters "runs" and "items" (worker-count
+// invariant), gauge "workers_last" (the most recent run's pool size),
+// histogram "run_items" (items per run), and span "run" carrying the
+// engine's wall time (excluded from default snapshots).
+type EngineMetrics struct {
+	reg     *Registry
+	runs    *Counter
+	items   *Counter
+	workers *Gauge
+	sizes   *Histogram
+}
+
+// NewEngineMetrics returns an engine observer recording into reg.
+func NewEngineMetrics(reg *Registry) *EngineMetrics {
+	return &EngineMetrics{
+		reg:     reg,
+		runs:    reg.Counter("runs"),
+		items:   reg.Counter("items"),
+		workers: reg.Gauge("workers_last"),
+		sizes:   reg.Histogram("run_items", 1, 10, 100, 1000, 10000),
+	}
+}
+
+// RunStarted records the start of one parallel run.
+func (m *EngineMetrics) RunStarted(items, workers int) {
+	if m == nil {
+		return
+	}
+	m.runs.Inc()
+	m.workers.Set(float64(workers))
+	m.sizes.Observe(float64(items))
+}
+
+// ItemsDone records n completed work items.
+func (m *EngineMetrics) ItemsDone(n int) {
+	if m == nil {
+		return
+	}
+	m.items.Add(int64(n))
+}
+
+// RunFinished records the wall time of one completed parallel run.
+func (m *EngineMetrics) RunFinished(items, workers int, wall time.Duration) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	sp := m.reg.StartSpan("run")
+	sp.start = sp.start.Add(-wall)
+	sp.End()
+}

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// StartPprof serves the net/http/pprof profiling endpoints on addr
+// (e.g. "localhost:6060"; a ":0" port picks a free one) in a background
+// goroutine and returns the bound address. It uses a private mux, so
+// nothing leaks onto http.DefaultServeMux. The listener lives until the
+// process exits — this is an opt-in debugging endpoint for the CLIs,
+// not a managed server.
+func StartPprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		srv := &http.Server{Handler: mux}
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}

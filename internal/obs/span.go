@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// spanStats aggregates all completed spans of one name.
+type spanStats struct {
+	count int64
+	wall  time.Duration
+	sim   float64 // simulated seconds
+}
+
+// traceSink serializes live trace output.
+type traceSink struct {
+	w io.Writer
+}
+
+// SetTraceWriter directs a live trace line at every Span.End to w
+// (nil disables). Trace lines carry wall-clock durations and are for
+// humans; the deterministic record is the snapshot.
+func (r *Registry) SetTraceWriter(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.st.mu.Lock()
+	r.st.trace.w = w
+	r.st.mu.Unlock()
+}
+
+// Span is one in-flight timed operation. Spans aggregate per name:
+// the snapshot reports call count, total simulated duration, and
+// (only with WithWall) total wall time.
+type Span struct {
+	st    *state
+	name  string
+	start time.Time
+	sim   float64
+}
+
+// StartSpan opens a span; close it with End. A nil registry returns a
+// nil span whose methods are no-ops.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{st: r.st, name: r.prefix + name, start: time.Now()}
+}
+
+// SetSim attaches a simulated-clock duration (in seconds) to the span,
+// for operations that advance a simulation as well as wall time.
+func (s *Span) SetSim(seconds float64) {
+	if s != nil {
+		s.sim = seconds
+	}
+}
+
+// End closes the span, folding its wall and simulated durations into
+// the per-name aggregate and emitting a trace line if a trace writer
+// is installed.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	wall := time.Since(s.start)
+	s.st.mu.Lock()
+	agg, ok := s.st.spans[s.name]
+	if !ok {
+		agg = &spanStats{}
+		s.st.spans[s.name] = agg
+	}
+	agg.count++
+	agg.wall += wall
+	agg.sim += s.sim
+	w := s.st.trace.w
+	s.st.mu.Unlock()
+	if w != nil {
+		if s.sim != 0 {
+			fmt.Fprintf(w, "trace %s wall=%v sim=%gs\n", s.name, wall.Round(time.Microsecond), s.sim)
+		} else {
+			fmt.Fprintf(w, "trace %s wall=%v\n", s.name, wall.Round(time.Microsecond))
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // options configures one parallel run.
@@ -86,6 +87,40 @@ func SetDefaultWorkers(n int) int {
 	return int(defaultWorkers.Swap(int32(n)))
 }
 
+// Observer receives engine lifecycle events, for observability layers
+// to count runs, completed items, and worker occupancy without this
+// package depending on them. Implementations must be safe for
+// concurrent use: ItemsDone is called from every worker goroutine.
+type Observer interface {
+	// RunStarted fires once per ForNErr call with the item count and
+	// the resolved pool size.
+	RunStarted(items, workers int)
+	// ItemsDone fires after a worker completes a claimed chunk (or,
+	// serially, each item), with the number of items finished.
+	ItemsDone(n int)
+	// RunFinished fires once per ForNErr call with the run's wall time.
+	RunFinished(items, workers int, wall time.Duration)
+}
+
+// observerHolder wraps the Observer so atomic.Value tolerates differing
+// concrete types (and nil, to unregister).
+type observerHolder struct{ o Observer }
+
+var engineObserver atomic.Value // observerHolder
+
+// SetObserver installs a process-wide engine observer (nil removes it).
+// Observation never changes results — it is the hook behind the CLIs'
+// -metrics flags.
+func SetObserver(o Observer) { engineObserver.Store(observerHolder{o: o}) }
+
+// currentObserver returns the installed observer, or nil.
+func currentObserver() Observer {
+	if h, ok := engineObserver.Load().(observerHolder); ok {
+		return h.o
+	}
+	return nil
+}
+
 // ForNErr calls fn(0..n-1) across a bounded worker pool and waits for
 // completion. After the first failure, no new chunks are claimed; the
 // error returned is the one with the lowest index among those observed.
@@ -112,10 +147,20 @@ func ForNErr(n int, fn func(i int) error, opts ...Option) error {
 		}
 	}
 
+	obs := currentObserver()
+	if obs != nil {
+		obs.RunStarted(n, workers)
+		start := time.Now()
+		defer func() { obs.RunFinished(n, workers, time.Since(start)) }()
+	}
+
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {
 				return err
+			}
+			if obs != nil {
+				obs.ItemsDone(1)
 			}
 		}
 		return nil
@@ -144,6 +189,9 @@ func ForNErr(n int, fn func(i int) error, opts ...Option) error {
 			}
 			for i := start; i < end; i++ {
 				if i >= failIdx.Load() {
+					if obs != nil && i > start {
+						obs.ItemsDone(int(i - start))
+					}
 					return
 				}
 				if err := fn(int(i)); err != nil {
@@ -158,8 +206,14 @@ func ForNErr(n int, fn func(i int) error, opts ...Option) error {
 							break
 						}
 					}
+					if obs != nil && i > start {
+						obs.ItemsDone(int(i - start))
+					}
 					return
 				}
+			}
+			if obs != nil {
+				obs.ItemsDone(int(end - start))
 			}
 		}
 	}

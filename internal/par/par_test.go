@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapPreservesOrder(t *testing.T) {
@@ -108,7 +109,7 @@ func TestWorkersBound(t *testing.T) {
 
 func TestSetDefaultWorkers(t *testing.T) {
 	prev := SetDefaultWorkers(5)
-	defer SetDefaultWorkers(prev)
+	t.Cleanup(func() { SetDefaultWorkers(prev) })
 	if DefaultWorkers() != 5 {
 		t.Errorf("DefaultWorkers = %d, want 5", DefaultWorkers())
 	}
@@ -117,6 +118,55 @@ func TestSetDefaultWorkers(t *testing.T) {
 	}
 	if DefaultWorkers() < 1 {
 		t.Error("unset default must fall back to GOMAXPROCS ≥ 1")
+	}
+}
+
+// countingObserver tallies engine events for the observer-hook tests.
+type countingObserver struct {
+	runsStarted, runsFinished, items atomic.Int64
+}
+
+func (c *countingObserver) RunStarted(items, workers int) { c.runsStarted.Add(1) }
+func (c *countingObserver) ItemsDone(n int)               { c.items.Add(int64(n)) }
+func (c *countingObserver) RunFinished(items, workers int, wall time.Duration) {
+	c.runsFinished.Add(1)
+}
+
+func TestObserverSeesEveryItem(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		var c countingObserver
+		SetObserver(&c)
+		ForN(257, func(i int) {}, Workers(w), Chunk(8))
+		SetObserver(nil)
+		if got := c.items.Load(); got != 257 {
+			t.Errorf("workers=%d: observer saw %d items, want 257", w, got)
+		}
+		if c.runsStarted.Load() != 1 || c.runsFinished.Load() != 1 {
+			t.Errorf("workers=%d: run events = %d/%d, want 1/1",
+				w, c.runsStarted.Load(), c.runsFinished.Load())
+		}
+	}
+}
+
+func TestObserverUnderErrorCountsOnlyCompleted(t *testing.T) {
+	var c countingObserver
+	SetObserver(&c)
+	t.Cleanup(func() { SetObserver(nil) })
+	boom := errors.New("boom")
+	err := ForNErr(1000, func(i int) error {
+		if i == 500 {
+			return boom
+		}
+		return nil
+	}, Workers(4), Chunk(16))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := c.items.Load(); got < 1 || got >= 1000 {
+		t.Errorf("observer items = %d, want partial completion in [1, 1000)", got)
+	}
+	if c.runsFinished.Load() != 1 {
+		t.Error("RunFinished must fire even on error")
 	}
 }
 

@@ -1,0 +1,28 @@
+// Package partest holds test helpers for the parallel engine. It lives
+// in its own package so the engine itself never imports testing.
+package partest
+
+import (
+	"testing"
+
+	"sudc/internal/par"
+)
+
+// WithDefaultWorkers overrides the process-wide default worker count
+// for the duration of the test (or benchmark) and restores the previous
+// override via t.Cleanup — so a failing or panicking test can no longer
+// leak its override into later tests in the process.
+func WithDefaultWorkers(t testing.TB, n int) {
+	t.Helper()
+	prev := par.SetDefaultWorkers(n)
+	t.Cleanup(func() { par.SetDefaultWorkers(prev) })
+}
+
+// WithObserver installs an engine observer for the duration of the test
+// and removes it via t.Cleanup, preventing cross-test leakage of the
+// process-wide hook.
+func WithObserver(t testing.TB, o par.Observer) {
+	t.Helper()
+	par.SetObserver(o)
+	t.Cleanup(func() { par.SetObserver(nil) })
+}

@@ -1,0 +1,38 @@
+package partest_test
+
+import (
+	"testing"
+
+	"sudc/internal/par"
+	"sudc/internal/par/partest"
+)
+
+func TestWithDefaultWorkersRestoresOnCleanup(t *testing.T) {
+	prev := par.SetDefaultWorkers(0)
+	par.SetDefaultWorkers(prev)
+	t.Run("inner", func(t *testing.T) {
+		partest.WithDefaultWorkers(t, 3)
+		if par.DefaultWorkers() != 3 {
+			t.Errorf("DefaultWorkers = %d inside override, want 3", par.DefaultWorkers())
+		}
+	})
+	if got := par.SetDefaultWorkers(prev); got != prev {
+		t.Errorf("override leaked after subtest: lingering value %d, want %d", got, prev)
+	}
+}
+
+func TestWithDefaultWorkersRestoresAfterFailure(t *testing.T) {
+	prev := par.SetDefaultWorkers(0)
+	par.SetDefaultWorkers(prev)
+	// A failing subtest must still restore the override: this is the
+	// leakage scenario the helper exists for.
+	t.Run("failing", func(t *testing.T) {
+		t.Helper()
+		partest.WithDefaultWorkers(t, 7)
+		// Simulate a test that bails before any manual restore would run.
+		t.Skip("bails out early")
+	})
+	if got := par.SetDefaultWorkers(prev); got != prev {
+		t.Errorf("override leaked past skipped subtest: %d, want %d", got, prev)
+	}
+}
