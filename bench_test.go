@@ -19,6 +19,7 @@ import (
 	"sudc/internal/faults"
 	"sudc/internal/netsim"
 	"sudc/internal/obs"
+	"sudc/internal/obs/trace"
 	"sudc/internal/par/partest"
 	"sudc/internal/reliability"
 	"sudc/internal/workload"
@@ -220,6 +221,20 @@ func BenchmarkNetsimObserved(b *testing.B) {
 	c := netsim.DefaultConfig(workload.Suite[0])
 	for i := 0; i < b.N; i++ {
 		c.Obs = obs.New()
+		if _, err := netsim.Run(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetsimTraced is BenchmarkNetsim with the frame-lineage
+// flight recorder attached — the cost of remembering every frame's
+// lifecycle, relative to the nil-recorder hot path (one nil check per
+// lifecycle point, budgeted at <2% in BENCH_trace.json).
+func BenchmarkNetsimTraced(b *testing.B) {
+	c := netsim.DefaultConfig(workload.Suite[0])
+	for i := 0; i < b.N; i++ {
+		c.Trace = trace.New(0)
 		if _, err := netsim.Run(c); err != nil {
 			b.Fatal(err)
 		}

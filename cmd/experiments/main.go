@@ -12,6 +12,7 @@
 //	experiments -parallel -workers 4
 //	experiments -metrics    # append per-exhibit timing + engine metrics
 //	experiments -trace      # stream span trace lines as exhibits finish
+//	experiments -trace-out f.jsonl  # record span events as JSONL (sudcmon -load)
 //	experiments -pprof localhost:6060
 //
 // -parallel produces byte-identical output to a serial run for any
@@ -27,6 +28,7 @@ import (
 
 	"sudc/internal/experiments"
 	"sudc/internal/obs"
+	"sudc/internal/obs/trace"
 	"sudc/internal/par"
 )
 
@@ -47,23 +49,17 @@ func run(args []string, out io.Writer) error {
 	parallel := fs.Bool("parallel", false, "run independent exhibits concurrently (identical output)")
 	workers := fs.Int("workers", 0, "worker count for -parallel (default GOMAXPROCS)")
 	metrics := fs.Bool("metrics", false, "append per-exhibit timing and engine metrics")
-	trace := fs.Bool("trace", false, "stream span trace lines as exhibits finish")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	traceSpans := fs.Bool("trace", false, "stream span trace lines as exhibits finish")
+	traceOut := fs.String("trace-out", "", "record span events to this JSONL file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *pprofAddr != "" {
-		addr, err := obs.StartPprof(*pprofAddr)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "pprof: serving on http://%s/debug/pprof/\n", addr)
-	}
 	var reg *obs.Registry
-	if *metrics || *trace {
+	if *metrics || *traceSpans || *traceOut != "" || *pprofAddr != "" {
 		reg = obs.New()
-		if *trace {
+		if *traceSpans {
 			reg.SetTraceWriter(out)
 		}
 		// The DSE behind Figure 17 and the parallel engine report through
@@ -73,6 +69,18 @@ func run(args []string, out io.Writer) error {
 		defer obs.SetGlobal(nil)
 		par.SetObserver(obs.NewEngineMetrics(reg.Scope("par")))
 		defer par.SetObserver(nil)
+	}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.New(0)
+		reg.SetSpanSink(rec)
+	}
+	if *pprofAddr != "" {
+		addr, err := obs.StartPprof(*pprofAddr, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "pprof: serving on http://%s/debug/pprof/\n", addr)
 	}
 
 	everything := append(append(experiments.All(), experiments.Ablations()...),
@@ -115,7 +123,10 @@ func run(args []string, out io.Writer) error {
 		for _, tbl := range tables {
 			fmt.Fprintln(out, tbl)
 		}
-		return printMetrics(out, *metrics, reg)
+		if err := printMetrics(out, *metrics, reg); err != nil {
+			return err
+		}
+		return writeTrace(out, rec, *traceOut)
 	}
 	for _, e := range toRun {
 		sp := reg.StartSpan("experiments/" + e.ID)
@@ -126,7 +137,30 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out, tbl)
 	}
-	return printMetrics(out, *metrics, reg)
+	if err := printMetrics(out, *metrics, reg); err != nil {
+		return err
+	}
+	return writeTrace(out, rec, *traceOut)
+}
+
+// writeTrace dumps the span recording as JSONL when -trace-out is set.
+func writeTrace(out io.Writer, rec *trace.Recorder, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trace: wrote %d events to %s\n", rec.TotalLen(), path)
+	return nil
 }
 
 // printMetrics appends the registry snapshot to the report when -metrics

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"sudc/internal/obs/trace"
 )
 
 func runCmd(t *testing.T, args ...string) string {
@@ -121,5 +125,31 @@ func TestBadFlag(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-bogus"}, &b); err == nil {
 		t.Error("unknown flag must error")
+	}
+}
+
+func TestTraceOutRecordsExhibitSpans(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	out := runCmd(t, "-only", "Table III", "-trace-out", path)
+	if !strings.Contains(out, "trace: wrote") {
+		t.Errorf("-trace-out must confirm the write:\n%s", out)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := trace.DecodeJSONL(f)
+	if err != nil {
+		t.Fatalf("written trace does not decode: %v", err)
+	}
+	var found bool
+	for _, e := range rec.Events() {
+		if e.Kind == trace.SpanDone && e.Name == "experiments/Table III" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace missing the exhibit span; %d events", rec.Len())
 	}
 }

@@ -1,0 +1,352 @@
+// Command sudcmon analyzes a frame-lineage flight recording: where
+// each EO frame's end-to-end latency went (queue, ISL transfer, retry
+// backoff, compute, downlink wait), which frames were slowest and why,
+// and when the SµDC was degraded by faults. It either runs a scenario
+// itself (same flags as sudcsim) or loads a recording saved with
+// -trace-out.
+//
+// Usage:
+//
+//	sudcmon [scenario flags] [analysis flags]
+//	sudcmon -load trace.jsonl [analysis flags]
+//
+// Scenario flags (mirroring sudcsim):
+//
+//	-app name        Table III application (default "Flood Detection")
+//	-satellites n    EO constellation size (default 64)
+//	-power kW        SµDC compute power (default 4)
+//	-isl gbps        ISL capacity (default 30)
+//	-batch n         batch size (default 8)
+//	-filter f        edge filtering rate 0..1 (default 0)
+//	-hours h         simulated duration (default 2)
+//	-seed n          RNG seed (default 1)
+//	-mttf h          mean time to permanent worker death in hours (0 = off)
+//	-sefi m          mean time between transient SEFI hangs in minutes (0 = off)
+//	-sefi-rec s      mean SEFI watchdog recovery in seconds (default 30)
+//	-outage m        mean time between ISL outages in minutes (0 = off)
+//	-outage-dur s    mean ISL outage duration in seconds (default 60)
+//	-spares n        spare workers beyond the sized need (default 0)
+//	-retries n       ISL retry budget per frame, 0 = unlimited (default 8)
+//	-shed n          input-queue length that triggers load shedding
+//
+// Analysis flags:
+//
+//	-load file       analyze a saved JSONL recording instead of running
+//	-top k           detail the k slowest frames (default 5)
+//	-jsonl file      save the recording as JSONL
+//	-chrome file     save Chrome trace-event JSON (open in Perfetto:
+//	                 ui.perfetto.dev, or chrome://tracing)
+//	-workers n       worker count for the availability cross-check when
+//	                 loading a saved trace (scenario runs know their own)
+//	-need n          workers needed for full service in the cross-check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sudc/internal/faults"
+	"sudc/internal/netsim"
+	"sudc/internal/obs/latency"
+	"sudc/internal/obs/trace"
+	"sudc/internal/units"
+	"sudc/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sudcmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sudcmon", flag.ContinueOnError)
+	fs.SetOutput(out)
+	appName := fs.String("app", "Flood Detection", "Table III application")
+	satellites := fs.Int("satellites", 64, "EO constellation size")
+	powerKW := fs.Float64("power", 4, "SµDC compute power in kW")
+	islGbps := fs.Float64("isl", 30, "ISL capacity in Gbit/s")
+	batch := fs.Int("batch", 8, "batch size")
+	filter := fs.Float64("filter", 0, "edge filtering rate [0,1)")
+	hours := fs.Float64("hours", 2, "simulated duration in hours")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	mttfH := fs.Float64("mttf", 0, "mean time to permanent worker death in hours (0 = off)")
+	sefiM := fs.Float64("sefi", 0, "mean time between SEFI hangs in minutes (0 = off)")
+	sefiRecS := fs.Float64("sefi-rec", 30, "mean SEFI recovery in seconds")
+	outageM := fs.Float64("outage", 0, "mean time between ISL outages in minutes (0 = off)")
+	outageDurS := fs.Float64("outage-dur", 60, "mean ISL outage duration in seconds")
+	spares := fs.Int("spares", 0, "spare workers beyond the sized need")
+	retries := fs.Int("retries", 8, "ISL retry budget per frame (0 = unlimited)")
+	shed := fs.Int("shed", 0, "input-queue length that triggers load shedding (0 = off, -1 = shed everything)")
+	load := fs.String("load", "", "analyze a saved JSONL recording instead of running a scenario")
+	topK := fs.Int("top", 5, "detail the k slowest frames")
+	jsonlOut := fs.String("jsonl", "", "save the recording as JSONL")
+	chromeOut := fs.String("chrome", "", "save Chrome trace-event JSON for Perfetto")
+	workersFlag := fs.Int("workers", 0, "worker count for the availability cross-check on -load")
+	needFlag := fs.Int("need", 0, "workers needed for full service in the cross-check on -load")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		rec     *trace.Recorder
+		horizon float64
+		workers = *workersFlag
+		need    = *needFlag
+		desAvty = -1.0 // DES-reported availability (scenario runs only)
+	)
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			return err
+		}
+		rec, err = trace.DecodeJSONL(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		horizon = lastEventTime(rec)
+		fmt.Fprintf(out, "loaded %s: %d events\n", *load, rec.TotalLen())
+	} else {
+		app, err := workload.ByName(*appName)
+		if err != nil {
+			return err
+		}
+		cfg := netsim.DefaultConfig(app)
+		cfg.Constellation.Satellites = *satellites
+		cfg.Constellation.FilterRate = *filter
+		cfg.Workers = int(*powerKW * 1000 / float64(app.GPUPower))
+		if cfg.Workers < 1 {
+			cfg.Workers = 1
+		}
+		cfg.ISLRate = units.GbpsOf(*islGbps)
+		cfg.BatchSize = *batch
+		cfg.Duration = time.Duration(*hours * float64(time.Hour))
+		cfg.Seed = *seed
+		if *spares < 0 {
+			return fmt.Errorf("negative spares %d", *spares)
+		}
+		cfg.NeedWorkers = cfg.Workers
+		cfg.Workers += *spares
+		cfg.Faults = faults.Scenario{
+			NodeMTTF:      time.Duration(*mttfH * float64(time.Hour)),
+			SEFIMTBE:      time.Duration(*sefiM * float64(time.Minute)),
+			ISLOutageMTBF: time.Duration(*outageM * float64(time.Minute)),
+		}
+		if cfg.Faults.SEFIMTBE > 0 {
+			cfg.Faults.SEFIRecovery = time.Duration(*sefiRecS * float64(time.Second))
+		}
+		if cfg.Faults.ISLOutageMTBF > 0 {
+			cfg.Faults.ISLOutageDuration = time.Duration(*outageDurS * float64(time.Second))
+		}
+		cfg.RetryLimit = *retries
+		cfg.ShedThreshold = *shed
+		rec = trace.New(0)
+		cfg.Trace = rec
+		s, err := netsim.Run(cfg)
+		if err != nil {
+			return err
+		}
+		horizon = cfg.Duration.Seconds()
+		workers, need = cfg.Workers, cfg.NeedWorkers
+		if cfg.Faults.Enabled() {
+			desAvty = s.Availability
+		}
+		fmt.Fprintf(out, "%s: %d satellites, %d workers, %v over %v (seed %d) — %d events recorded\n",
+			app.Name, *satellites, cfg.Workers, cfg.ISLRate, cfg.Duration, *seed, rec.TotalLen())
+	}
+
+	analyze(out, rec, horizon, *topK, workers, need, desAvty)
+
+	if *jsonlOut != "" {
+		if err := writeFile(*jsonlOut, rec.WriteJSONL); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote JSONL recording to %s\n", *jsonlOut)
+	}
+	if *chromeOut != "" {
+		if err := writeFile(*chromeOut, rec.WriteChrome); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote Chrome trace to %s — open at ui.perfetto.dev\n", *chromeOut)
+	}
+	return nil
+}
+
+// analyze prints the full report: outcomes, stage breakdown, slowest
+// frames, and degraded intervals. Everything printed derives from
+// simulated time, so the report is deterministic for a given recording.
+func analyze(out io.Writer, rec *trace.Recorder, horizon float64, topK, workers, need int, desAvty float64) {
+	frames := latency.DecomposeAll(rec)
+
+	outcomes := map[string]int{}
+	for _, f := range frames {
+		outcomes[f.Outcome]++
+	}
+	fmt.Fprintf(out, "\nframes: %d total", len(frames))
+	for _, o := range []string{"downlinked", "processed", "shed", "lost", "in-flight"} {
+		if outcomes[o] > 0 {
+			fmt.Fprintf(out, ", %d %s", outcomes[o], o)
+		}
+	}
+	fmt.Fprintln(out)
+	if dropped := totalDropped(rec); dropped > 0 {
+		fmt.Fprintf(out, "WARNING: recorder dropped %d events at its bound; stats below are partial\n", dropped)
+	}
+
+	fmt.Fprintf(out, "\nStage breakdown (completed frames):\n")
+	fmt.Fprintf(out, "  %-14s %7s %10s %10s %10s %10s %10s\n",
+		"stage", "share", "mean", "p50", "p95", "p99", "max")
+	for _, sm := range latency.Summarize(frames) {
+		name := "end-to-end"
+		if sm.Stage < latency.NumStages {
+			name = sm.Stage.String()
+		}
+		fmt.Fprintf(out, "  %-14s %6.1f%% %9.1fms %8.1fms %8.1fms %8.1fms %8.1fms\n",
+			name, 100*sm.Share, 1e3*sm.Mean, 1e3*sm.P50, 1e3*sm.P95, 1e3*sm.P99, 1e3*sm.Max)
+	}
+
+	slow := latency.TopK(frames, topK)
+	if len(slow) > 0 {
+		fmt.Fprintf(out, "\nTop %d slowest frames:\n", len(slow))
+	}
+	for _, f := range slow {
+		scope := f.Scope
+		if scope == "" {
+			scope = "main"
+		}
+		fmt.Fprintf(out, "  frame %d [%s] %s after %.1fms (queue %.1f, transfer %.1f, backoff %.1f, compute %.1f, downlink-wait %.1f) causes: %s\n",
+			f.ID, scope, f.Outcome, 1e3*f.Total(),
+			1e3*f.Stages[latency.StageQueue], 1e3*f.Stages[latency.StageTransfer],
+			1e3*f.Stages[latency.StageRetryBackoff], 1e3*f.Stages[latency.StageCompute],
+			1e3*f.Stages[latency.StageDownlinkWait], latency.FormatCauses(f.Causes))
+		for _, e := range f.Events {
+			fmt.Fprintf(out, "    +%9.1fms  %s\n", 1e3*(e.T-f.Captured), describe(e))
+		}
+	}
+
+	printDegraded(out, rec, horizon, workers, need, desAvty)
+}
+
+// printDegraded reports the fault windows of every scope plus the
+// availability cross-check recomputed from fault events alone.
+func printDegraded(out io.Writer, rec *trace.Recorder, horizon float64, workers, need int, desAvty float64) {
+	scopes := append([]string{""}, rec.Scopes()...)
+	header := false
+	for _, scope := range scopes {
+		r := rec
+		if scope != "" {
+			r = rec.Child(scope)
+		}
+		events := r.Events()
+		ivs := latency.DegradedIntervals(events, horizon)
+		if len(ivs) == 0 {
+			continue
+		}
+		if !header {
+			fmt.Fprintf(out, "\nDegraded intervals:\n")
+			fmt.Fprintf(out, "  %-8s %-12s %10s %10s %5s %7s\n",
+				"scope", "kind", "start", "dur", "node", "frames")
+			header = true
+		}
+		name := scope
+		if name == "" {
+			name = "main"
+		}
+		for _, iv := range ivs {
+			node := "-"
+			if iv.Node >= 0 {
+				node = fmt.Sprintf("%d", iv.Node)
+			}
+			fmt.Fprintf(out, "  %-8s %-12s %9.1fs %9.1fs %5s %7d\n",
+				name, iv.Kind, iv.Start, iv.Duration(), node, iv.FramesStalled)
+		}
+		if workers > 0 && need > 0 {
+			avty := latency.AvailabilityFromTrace(events, workers, need, horizon)
+			fmt.Fprintf(out, "  %-8s availability from trace: %.4f%%", name, 100*avty)
+			if desAvty >= 0 {
+				fmt.Fprintf(out, " (DES reported %.4f%%)", 100*desAvty)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	if !header {
+		fmt.Fprintf(out, "\nNo degraded intervals: the recording has no fault events.\n")
+	}
+}
+
+// describe renders one event for a frame timeline.
+func describe(e trace.Event) string {
+	switch e.Kind {
+	case trace.FrameCaptured:
+		return fmt.Sprintf("captured by satellite %d", e.Node)
+	case trace.ISLSendStart:
+		return "ISL transfer start"
+	case trace.ISLSendEnd:
+		if e.Cause != "" {
+			return fmt.Sprintf("ISL transfer aborted (%s)", e.Cause)
+		}
+		return "ISL transfer done"
+	case trace.Retry:
+		return fmt.Sprintf("retry #%d, backoff %.3fs (%s)", e.Attempt, e.Backoff, e.Cause)
+	case trace.Enqueued:
+		if e.Cause != "" {
+			return fmt.Sprintf("re-enqueued (%s)", e.Cause)
+		}
+		return "enqueued at SµDC input"
+	case trace.Dispatched:
+		return fmt.Sprintf("dispatched to worker %d", e.Node)
+	case trace.ComputeEnd:
+		return fmt.Sprintf("compute done on worker %d", e.Node)
+	case trace.Downlinked:
+		return "insight downlinked"
+	case trace.Shed:
+		return "shed from input queue"
+	case trace.Lost:
+		return fmt.Sprintf("lost after %d attempts (%s)", e.Attempt, e.Cause)
+	default:
+		return e.Kind.String()
+	}
+}
+
+// lastEventTime finds the recording's latest timestamp across scopes.
+func lastEventTime(rec *trace.Recorder) float64 {
+	var last float64
+	for _, e := range rec.Events() {
+		if e.T > last {
+			last = e.T
+		}
+	}
+	for _, name := range rec.Scopes() {
+		if t := lastEventTime(rec.Child(name)); t > last {
+			last = t
+		}
+	}
+	return last
+}
+
+// totalDropped sums dropped-event counts across scopes.
+func totalDropped(rec *trace.Recorder) int64 {
+	n := rec.Dropped()
+	for _, name := range rec.Scopes() {
+		n += totalDropped(rec.Child(name))
+	}
+	return n
+}
+
+// writeFile creates path and streams the recording into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

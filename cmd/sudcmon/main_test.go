@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden analysis output")
+
+func runMon(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+// faultedArgs is the pinned golden scenario: small, fault-heavy, seeded.
+var faultedArgs = []string{"-satellites", "2", "-power", "0.5", "-hours", "0.2",
+	"-mttf", "2", "-sefi", "20", "-outage", "15", "-seed", "7", "-top", "2"}
+
+func TestGoldenFaultedAnalysis(t *testing.T) {
+	// The whole report derives from simulated time, so it is pinned
+	// byte-for-byte. Regenerate with: go test ./cmd/sudcmon -update
+	out := runMon(t, faultedArgs...)
+	golden := filepath.Join("testdata", "faulted.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("analysis drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, out, want)
+	}
+}
+
+func TestAnalysisSections(t *testing.T) {
+	out := runMon(t, faultedArgs...)
+	for _, want := range []string{
+		"events recorded",
+		"Stage breakdown (completed frames):",
+		"queue", "transfer", "retry-backoff", "compute", "downlink-wait", "end-to-end",
+		"Top 2 slowest frames:",
+		"Degraded intervals:",
+		"isl-outage", "sefi",
+		"availability from trace:", "(DES reported",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultFreeReportsNoDegradedIntervals(t *testing.T) {
+	out := runMon(t, "-satellites", "2", "-hours", "0.1", "-top", "1")
+	if !strings.Contains(out, "No degraded intervals") {
+		t.Errorf("fault-free run must say so:\n%s", out)
+	}
+}
+
+func TestSaveAndLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	direct := runMon(t, append(faultedArgs, "-jsonl", jsonl)...)
+	loaded := runMon(t, "-load", jsonl, "-top", "2",
+		"-workers", "1", "-need", "1")
+
+	// Everything from the stage table onward must match the direct run
+	// (headers differ: the loaded report has no scenario/DES context).
+	cut := func(s string) string {
+		i := strings.Index(s, "Stage breakdown")
+		j := strings.Index(s, "availability from trace")
+		if i < 0 || j < 0 {
+			t.Fatalf("report missing sections:\n%s", s)
+		}
+		return s[i:j]
+	}
+	if cut(direct) != cut(loaded) {
+		t.Errorf("loaded analysis differs from direct run:\n--- direct ---\n%s\n--- loaded ---\n%s",
+			cut(direct), cut(loaded))
+	}
+	if !strings.Contains(loaded, "loaded "+jsonl) {
+		t.Errorf("loaded report missing header:\n%s", loaded)
+	}
+}
+
+func TestChromeExportFlag(t *testing.T) {
+	dir := t.TempDir()
+	chrome := filepath.Join(dir, "trace.json")
+	out := runMon(t, append(faultedArgs, "-chrome", chrome)...)
+	if !strings.Contains(out, "wrote Chrome trace") {
+		t.Errorf("missing Chrome confirmation:\n%s", out)
+	}
+	b, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &parsed); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Error("Chrome export has no events")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-load", "/no/such/file.jsonl"}, &b); err == nil {
+		t.Error("missing load file must error")
+	}
+	if err := run([]string{"-app", "Whale Counting"}, &b); err == nil {
+		t.Error("unknown app must error")
+	}
+	if err := run([]string{"-spares", "-1"}, &b); err == nil {
+		t.Error("negative spares must error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{\"t\":1,\"k\":\"warp_drive\",\"n\":-1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-load", bad}, &b); err == nil {
+		t.Error("malformed trace must error")
+	}
+}

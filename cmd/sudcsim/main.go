@@ -32,7 +32,10 @@
 //	-metrics         print the run's metric snapshot (counters, queue-depth /
 //	                 availability / retry time series, latency histogram)
 //	-trace           stream span trace lines as stages complete
-//	-pprof addr      serve net/http/pprof on addr (e.g. localhost:6060)
+//	-trace-out file  write the frame-lineage flight recording (per-frame
+//	                 lifecycle + fault events) as JSONL; analyze with sudcmon
+//	-pprof addr      serve net/http/pprof and /metrics on addr
+//	                 (e.g. localhost:6060)
 package main
 
 import (
@@ -45,6 +48,7 @@ import (
 	"sudc/internal/faults"
 	"sudc/internal/netsim"
 	"sudc/internal/obs"
+	"sudc/internal/obs/trace"
 	"sudc/internal/units"
 	"sudc/internal/workload"
 )
@@ -76,25 +80,31 @@ func run(args []string, out io.Writer) error {
 	retries := fs.Int("retries", 8, "ISL retry budget per frame (0 = unlimited)")
 	shed := fs.Int("shed", 0, "input-queue length that triggers load shedding (0 = off, -1 = shed everything)")
 	metrics := fs.Bool("metrics", false, "print the run's metric snapshot")
-	trace := fs.Bool("trace", false, "stream span trace lines as stages complete")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	traceSpans := fs.Bool("trace", false, "stream span trace lines as stages complete")
+	traceOut := fs.String("trace-out", "", "write the frame-lineage flight recording to this JSONL file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var reg *obs.Registry
+	if *metrics || *traceSpans || *traceOut != "" || *pprofAddr != "" {
+		reg = obs.New()
+		if *traceSpans {
+			reg.SetTraceWriter(out)
+		}
+	}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.New(0)
+		reg.SetSpanSink(rec)
+	}
 	if *pprofAddr != "" {
-		addr, err := obs.StartPprof(*pprofAddr)
+		addr, err := obs.StartPprof(*pprofAddr, reg)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "pprof: serving on http://%s/debug/pprof/\n", addr)
-	}
-	var reg *obs.Registry
-	if *metrics || *trace {
-		reg = obs.New()
-		if *trace {
-			reg.SetTraceWriter(out)
-		}
 	}
 
 	app, err := workload.ByName(*appName)
@@ -131,6 +141,7 @@ func run(args []string, out io.Writer) error {
 	cfg.RetryLimit = *retries
 	cfg.ShedThreshold = *shed
 	cfg.Obs = reg.Scope("netsim")
+	cfg.Trace = rec
 
 	sp := reg.StartSpan("sudcsim/run")
 	sp.SetSim(cfg.Duration.Seconds())
@@ -170,5 +181,24 @@ func run(args []string, out io.Writer) error {
 	if *metrics {
 		fmt.Fprintf(out, "\nmetrics:\n%s", reg.Snapshot().String())
 	}
+	if *traceOut != "" {
+		if err := writeTrace(rec, *traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\ntrace: wrote %d events to %s\n", rec.TotalLen(), *traceOut)
+	}
 	return nil
+}
+
+// writeTrace dumps the flight recording as JSONL to path.
+func writeTrace(rec *trace.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

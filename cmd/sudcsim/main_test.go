@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"sudc/internal/obs/trace"
 )
 
 func runSim(t *testing.T, args ...string) string {
@@ -124,6 +128,36 @@ func TestShedAllFlag(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-shed", "-2"}, &b); err == nil {
 		t.Error("shed threshold below ShedAll must error")
+	}
+}
+
+func TestTraceOutWritesLineage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	out := runSim(t, "-satellites", "2", "-hours", "0.5", "-outage", "10", "-trace-out", path)
+	if !strings.Contains(out, "trace: wrote") || !strings.Contains(out, path) {
+		t.Errorf("-trace-out must confirm the write:\n%s", out)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := trace.DecodeJSONL(f)
+	if err != nil {
+		t.Fatalf("written trace does not decode: %v", err)
+	}
+	kinds := map[trace.Kind]bool{}
+	for _, e := range rec.Events() {
+		kinds[e.Kind] = true
+	}
+	for _, want := range []trace.Kind{trace.FrameCaptured, trace.Dispatched,
+		trace.Downlinked, trace.OutageStart, trace.SpanDone} {
+		if !kinds[want] {
+			t.Errorf("trace missing %v events", want)
+		}
+	}
+	if err := run([]string{"-hours", "0.1", "-trace-out", "/no/such/dir/t.jsonl"}, &strings.Builder{}); err == nil {
+		t.Error("unwritable trace path must error")
 	}
 }
 

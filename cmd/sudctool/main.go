@@ -19,7 +19,9 @@
 //	-json            emit a machine-readable JSON report instead of text
 //	-metrics         append design/cost gauges and stage timings
 //	-trace           stream span trace lines as stages complete
-//	-pprof addr      serve net/http/pprof on addr (e.g. localhost:6060)
+//	-trace-out file  record span events to a JSONL file (sudcmon -load)
+//	-pprof addr      serve net/http/pprof and /metrics on addr
+//	                 (e.g. localhost:6060)
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"sudc/internal/core"
 	"sudc/internal/hardware"
 	"sudc/internal/obs"
+	"sudc/internal/obs/trace"
 	"sudc/internal/orbit"
 	"sudc/internal/sscm"
 	"sudc/internal/units"
@@ -61,25 +64,31 @@ func run(args []string, out io.Writer) error {
 	nUnits := fs.Int("units", 1, "production run length for Wright's-law pricing")
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON report")
 	metrics := fs.Bool("metrics", false, "append design/cost gauges and stage timings")
-	trace := fs.Bool("trace", false, "stream span trace lines as stages complete")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	traceSpans := fs.Bool("trace", false, "stream span trace lines as stages complete")
+	traceOut := fs.String("trace-out", "", "record span events to this JSONL file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var reg *obs.Registry
+	if *metrics || *traceSpans || *traceOut != "" || *pprofAddr != "" {
+		reg = obs.New()
+		if *traceSpans {
+			reg.SetTraceWriter(out)
+		}
+	}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.New(0)
+		reg.SetSpanSink(rec)
+	}
 	if *pprofAddr != "" {
-		addr, err := obs.StartPprof(*pprofAddr)
+		addr, err := obs.StartPprof(*pprofAddr, reg)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "pprof: serving on http://%s/debug/pprof/\n", addr)
-	}
-	var reg *obs.Registry
-	if *metrics || *trace {
-		reg = obs.New()
-		if *trace {
-			reg.SetTraceWriter(out)
-		}
 	}
 
 	cfg := core.DefaultConfig(units.KW(*powerKW))
@@ -122,7 +131,10 @@ func run(args []string, out io.Writer) error {
 		if err := writeJSON(out, cfg, d); err != nil {
 			return err
 		}
-		return printMetrics(out, *metrics, reg)
+		if err := printMetrics(out, *metrics, reg); err != nil {
+			return err
+		}
+		return writeTrace(out, rec, *traceOut)
 	}
 
 	fmt.Fprintf(out, "SµDC design — %s compute (%s), %s, %v lifetime\n\n",
@@ -164,7 +176,30 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  %d-unit run (b=0.75): total %s, marginal unit %s\n",
 			*nUnits, tot.NRE+cum, last)
 	}
-	return printMetrics(out, *metrics, reg)
+	if err := printMetrics(out, *metrics, reg); err != nil {
+		return err
+	}
+	return writeTrace(out, rec, *traceOut)
+}
+
+// writeTrace dumps the span recording as JSONL when -trace-out is set.
+func writeTrace(out io.Writer, rec *trace.Recorder, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\ntrace: wrote %d events to %s\n", rec.TotalLen(), path)
+	return nil
 }
 
 // printMetrics appends the registry snapshot when -metrics is set. Wall

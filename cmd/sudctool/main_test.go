@@ -2,8 +2,12 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"sudc/internal/obs/trace"
 )
 
 func runTool(t *testing.T, args ...string) string {
@@ -147,5 +151,32 @@ func TestJSONOutput(t *testing.T) {
 	}
 	if len(report["mass_budget"].([]any)) != 10 {
 		t.Error("mass budget rows missing")
+	}
+}
+
+func TestTraceOutRecordsSpans(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	out := runTool(t, "-trace-out", path)
+	if !strings.Contains(out, "trace: wrote") {
+		t.Errorf("-trace-out must confirm the write:\n%s", out)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := trace.DecodeJSONL(f)
+	if err != nil {
+		t.Fatalf("written trace does not decode: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range rec.Events() {
+		if e.Kind != trace.SpanDone {
+			t.Errorf("sudctool trace must hold only span events, got %v", e.Kind)
+		}
+		names[e.Name] = true
+	}
+	if !names["sudctool/build"] || !names["sudctool/cost"] {
+		t.Errorf("span trace missing stages, got %v", names)
 	}
 }

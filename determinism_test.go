@@ -6,6 +6,7 @@ package sudc
 // the end-to-end property across the whole evaluation.
 
 import (
+	"bytes"
 	"reflect"
 	"strings"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"sudc/internal/faults"
 	"sudc/internal/netsim"
 	"sudc/internal/obs"
+	"sudc/internal/obs/trace"
 	"sudc/internal/par"
 	"sudc/internal/par/partest"
 	"sudc/internal/workload"
@@ -150,6 +152,78 @@ func TestObsSnapshotInvariantUnderWorkerCount(t *testing.T) {
 		if got := snap(w); got != ref {
 			t.Errorf("workers=%d: merged metric snapshot differs from workers=1", w)
 		}
+	}
+}
+
+// traceExports runs a replicated DES scenario with the flight recorder
+// attached and returns both exports (JSONL, Chrome trace-event JSON).
+func traceExports(t *testing.T, c netsim.Config, workers int) (string, string) {
+	t.Helper()
+	rec := trace.New(0)
+	cc := c
+	cc.Trace = rec
+	if _, err := netsim.RunReplicas(cc, 6, workers); err != nil {
+		t.Fatal(err)
+	}
+	var jsonl, chrome bytes.Buffer
+	if err := rec.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteChrome(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	return jsonl.String(), chrome.String()
+}
+
+func TestTraceExportInvariantUnderWorkerCount(t *testing.T) {
+	// The flight recording extends the determinism contract to
+	// individual frames: replica recorders scope per replica and events
+	// carry only simulated time, so both exports must be byte-identical
+	// whether the replicas ran on 1, 2, or 8 process workers — for a
+	// fault-free scenario and for one exercising retries, losses,
+	// sheds, node deaths, SEFI hangs, and ISL outages.
+	base := netsim.DefaultConfig(workload.Suite[0])
+	base.Constellation = constellation.Constellation{Satellites: 2, FramesPerMinute: 6}
+	base.Workers = 5
+	base.NeedWorkers = 4
+	base.BatchSize = 4
+	base.BatchTimeout = 30 * time.Second
+	base.Duration = 30 * time.Minute
+	base.Seed = 9
+
+	faulted := base
+	faulted.Faults = faults.Scenario{
+		NodeMTTF:          2 * time.Hour,
+		SEFIMTBE:          20 * time.Minute,
+		SEFIRecovery:      30 * time.Second,
+		ISLOutageMTBF:     30 * time.Minute,
+		ISLOutageDuration: time.Minute,
+	}
+	faulted.RetryLimit = 3
+	faulted.ShedThreshold = 40
+
+	for _, tc := range []struct {
+		name string
+		cfg  netsim.Config
+	}{
+		{"fault-free", base},
+		{"faulted", faulted},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			refJSONL, refChrome := traceExports(t, tc.cfg, 1)
+			if refJSONL == "" || !strings.Contains(refJSONL, `"scope":"r005"`) {
+				t.Fatalf("JSONL export missing replica scopes:\n%.400s", refJSONL)
+			}
+			for _, w := range []int{2, 8} {
+				jsonl, chrome := traceExports(t, tc.cfg, w)
+				if jsonl != refJSONL {
+					t.Errorf("workers=%d: JSONL export differs from workers=1", w)
+				}
+				if chrome != refChrome {
+					t.Errorf("workers=%d: Chrome export differs from workers=1", w)
+				}
+			}
+		})
 	}
 }
 

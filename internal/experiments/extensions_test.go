@@ -193,3 +193,32 @@ func TestOverprovisionSweepMatchesAnalytic(t *testing.T) {
 		t.Errorf("4 spares add %.2f%% of TCO, want < 1%%", last.SpareTCOShare*100)
 	}
 }
+
+func TestOverprovisionTraceCheckAgrees(t *testing.T) {
+	// The E7 availability numbers must be reproducible from a saved
+	// flight recording alone: recomputing availability from the trace's
+	// fault events has to agree with the DES to float64 rounding.
+	for _, spares := range []int{0, 2} {
+		des, fromTrace, err := OverprovisionTraceCheck(spares, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if des <= 0 || des > 1 {
+			t.Fatalf("spares=%d: DES availability %.6f out of range", spares, des)
+		}
+		delta := des - fromTrace
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta > 1e-9 {
+			t.Errorf("spares=%d: DES availability %.12f vs trace-derived %.12f — |Δ| %.3g",
+				spares, des, fromTrace, delta)
+		}
+	}
+	if _, _, err := OverprovisionTraceCheck(-1, 10); err == nil {
+		t.Error("negative spares must error")
+	}
+	if _, _, err := OverprovisionTraceCheck(0, 0); err == nil {
+		t.Error("zero replicas must error")
+	}
+}

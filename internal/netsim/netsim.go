@@ -34,6 +34,7 @@ import (
 	"sudc/internal/constellation"
 	"sudc/internal/faults"
 	"sudc/internal/obs"
+	"sudc/internal/obs/trace"
 	"sudc/internal/par"
 	"sudc/internal/units"
 	"sudc/internal/workload"
@@ -102,6 +103,16 @@ type Config struct {
 	// SampleEvery is the simulated-time sampling period for the Obs
 	// time series (0 = DefaultSampleEvery; negative is invalid).
 	SampleEvery time.Duration
+
+	// Trace, when non-nil, receives the run's frame-lineage flight
+	// recording: the full per-frame lifecycle (capture, ISL transfer,
+	// retries, batching, compute, downlink) plus the fault events that
+	// stalled it, with stable frame IDs assigned in capture order.
+	// Emission order is the DES event order — a pure function of
+	// simulated time — so recordings are byte-identical for any process
+	// worker count. Each run needs its own recorder (or child scope);
+	// RunReplicas scopes one child per replica automatically.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig simulates the paper's reference scenario for one app: the
@@ -276,6 +287,7 @@ func (q *eventQueue) Pop() any {
 }
 
 type frame struct {
+	id    int64   // stable 1-based frame ID, assigned in capture order
 	born  float64 // generation time, s
 	value float64 // analyzer value draw in [0,1): the top InsightFraction quantile is an insight
 	tries int     // failed ISL transmission attempts
@@ -318,6 +330,11 @@ func RunReplicas(c Config, replicas, workers int) ([]Stats, error) {
 			// Each replica writes disjoint names into the shared store,
 			// so the merged snapshot is identical for any worker count.
 			cc.Obs = c.Obs.Scope(fmt.Sprintf("r%03d", r))
+		}
+		if c.Trace != nil {
+			// Same discipline for the flight recorder: one child scope
+			// per replica, exported in sorted scope order.
+			cc.Trace = c.Trace.Child(fmt.Sprintf("r%03d", r))
 		}
 		s, err := Run(cc)
 		if err != nil {
@@ -451,6 +468,17 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 	if c.Obs != nil {
 		rec = newRecorder(c.Obs, c.SampleEvery)
 	}
+
+	// Frame-lineage flight recording. tr stays nil when tracing is off,
+	// so the hot loop pays one nil check per lifecycle point. Frame IDs
+	// are assigned in capture order and outage windows are numbered in
+	// start order — both pure functions of simulated time.
+	tr := c.Trace
+	var (
+		frameID     int64
+		outageIdx   int
+		outageCause string
+	)
 	sampleAt := func(t float64) sampleState {
 		up := upTime
 		if effective >= need && t > lastT {
@@ -508,6 +536,10 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 		f := &islQueue[0]
 		f.tries++
 		if c.RetryLimit > 0 && f.tries > c.RetryLimit {
+			if tr != nil {
+				tr.Record(trace.Event{T: now, Kind: trace.Lost, Frame: f.id,
+					Node: -1, Attempt: f.tries, Cause: outageCause})
+			}
 			islQueue = islQueue[1:]
 			stats.FramesLost++
 			return
@@ -517,6 +549,10 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 		delay := backoff(f.tries)
 		if rec != nil {
 			rec.backoff.Observe(delay)
+		}
+		if tr != nil {
+			tr.Record(trace.Event{T: now, Kind: trace.Retry, Frame: f.id,
+				Node: -1, Attempt: f.tries, Backoff: delay, Cause: outageCause})
 		}
 		push(event{at: now + delay, kind: evISLRetry})
 	}
@@ -532,6 +568,10 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 			islSending = true
 			islGen++
 			islSendStart = now
+			if tr != nil {
+				tr.Record(trace.Event{T: now, Kind: trace.ISLSendStart,
+					Frame: islQueue[0].id, Node: -1})
+			}
 			push(event{at: now + islTime, kind: evISLDone, gen: islGen})
 			return
 		}
@@ -546,12 +586,19 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 	}
 	addToInput := func(f frame) {
 		inputQueue = append(inputQueue, f)
+		if tr != nil {
+			tr.Record(trace.Event{T: now, Kind: trace.Enqueued, Frame: f.id, Node: -1})
+		}
 		if shedEnabled && len(inputQueue) > shedLimit {
 			low := 0
 			for i := 1; i < len(inputQueue); i++ {
 				if inputQueue[i].value < inputQueue[low].value {
 					low = i
 				}
+			}
+			if tr != nil {
+				tr.Record(trace.Event{T: now, Kind: trace.Shed,
+					Frame: inputQueue[low].id, Node: -1})
 			}
 			inputQueue = append(inputQueue[:low], inputQueue[low+1:]...)
 			stats.FramesShed++
@@ -591,6 +638,12 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 			w.batch = batch
 			w.gen++
 			w.doneAt = now + service
+			if tr != nil {
+				for _, f := range batch {
+					tr.Record(trace.Event{T: now, Kind: trace.Dispatched, Frame: f.id, Node: wi})
+				}
+				tr.Record(trace.Event{T: now, Kind: trace.ComputeStart, Node: wi, N: n})
+			}
 			push(event{at: w.doneAt, kind: evBatchDone, who: wi, gen: w.gen})
 		}
 		if len(inputQueue) > 0 && !timeoutArmed {
@@ -613,7 +666,12 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 		switch e.kind {
 		case evFrameReady:
 			stats.FramesGenerated++
-			islQueue = append(islQueue, frame{born: now, value: rng.Float64()})
+			frameID++
+			islQueue = append(islQueue, frame{id: frameID, born: now, value: rng.Float64()})
+			if tr != nil {
+				tr.Record(trace.Event{T: now, Kind: trace.FrameCaptured,
+					Frame: frameID, Node: e.who})
+			}
 			attemptISL()
 			// Next frame from this satellite, with 5% timing jitter.
 			jitter := 1 + 0.1*(rng.Float64()-0.5)
@@ -627,6 +685,9 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 			islBusySum += now - islSendStart
 			f := islQueue[0]
 			islQueue = islQueue[1:]
+			if tr != nil {
+				tr.Record(trace.Event{T: now, Kind: trace.ISLSendEnd, Frame: f.id, Node: -1})
+			}
 			addToInput(f)
 			attemptISL()
 			dispatch(false)
@@ -637,6 +698,13 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 
 		case evOutageStart:
 			islDown = true
+			outageIdx++
+			outageCause = ""
+			if tr != nil {
+				outageCause = fmt.Sprintf("isl-outage#%d", outageIdx)
+				tr.Record(trace.Event{T: now, Kind: trace.OutageStart,
+					Node: -1, Dur: e.dur, Cause: outageCause})
+			}
 			end := now + e.dur
 			if clip := math.Min(end, horizon); clip > now {
 				islDownSum += clip - now
@@ -647,12 +715,20 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 				islSending = false
 				islGen++
 				islBusySum += now - islSendStart
+				if tr != nil {
+					tr.Record(trace.Event{T: now, Kind: trace.ISLSendEnd,
+						Frame: islQueue[0].id, Node: -1, Cause: outageCause})
+				}
 				failHead()
 				attemptISL()
 			}
 
 		case evOutageEnd:
 			islDown = false
+			if tr != nil {
+				tr.Record(trace.Event{T: now, Kind: trace.OutageEnd,
+					Node: -1, Cause: outageCause})
+			}
 			attemptISL()
 
 		case evWorkerDeath:
@@ -661,6 +737,9 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 				break
 			}
 			w.dead = true
+			if tr != nil {
+				tr.Record(trace.Event{T: now, Kind: trace.NodeDeath, Node: e.who})
+			}
 			if w.busy {
 				// The batch is stranded: return its frames to the head
 				// of the queue for re-dispatch.
@@ -668,6 +747,13 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 				w.gen++
 				busySum -= w.doneAt - now
 				stats.FramesRedispatched += len(w.batch)
+				if tr != nil {
+					cause := fmt.Sprintf("node-death#%d", e.who)
+					for _, f := range w.batch {
+						tr.Record(trace.Event{T: now, Kind: trace.Enqueued,
+							Frame: f.id, Node: -1, Cause: cause})
+					}
+				}
 				inputQueue = append(append([]frame(nil), w.batch...), inputQueue...)
 				if len(inputQueue) > stats.MaxInputQueue {
 					stats.MaxInputQueue = len(inputQueue)
@@ -683,6 +769,9 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 				break
 			}
 			w.hung = true
+			if tr != nil {
+				tr.Record(trace.Event{T: now, Kind: trace.SEFIStart, Node: e.who, Dur: e.dur})
+			}
 			if w.busy {
 				// The watchdog reboots the node and the batch resumes:
 				// completion slips by the recovery time.
@@ -699,6 +788,9 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 				break
 			}
 			w.hung = false
+			if tr != nil {
+				tr.Record(trace.Event{T: now, Kind: trace.SEFIEnd, Node: e.who})
+			}
 			recount()
 			dispatch(false)
 
@@ -709,13 +801,25 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 			}
 			w.busy = false
 			stats.FramesProcessed += len(w.batch)
+			if tr != nil {
+				tr.Record(trace.Event{T: now, Kind: trace.ComputeEnd,
+					Node: e.who, N: len(w.batch)})
+			}
 			for _, f := range w.batch {
 				latencies = append(latencies, now-f.born)
 				if rec != nil {
 					rec.latency.Observe(now - f.born)
 				}
+				if tr != nil {
+					tr.Record(trace.Event{T: now, Kind: trace.ComputeEnd,
+						Frame: f.id, Node: e.who})
+				}
 				if f.value >= 1-c.InsightFraction {
 					stats.InsightsDownlinked++
+					if tr != nil {
+						tr.Record(trace.Event{T: now, Kind: trace.Downlinked,
+							Frame: f.id, Node: e.who})
+					}
 				}
 			}
 			w.batch = nil

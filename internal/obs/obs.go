@@ -33,6 +33,7 @@ type state struct {
 	series   map[string]*Series
 	spans    map[string]*spanStats
 	trace    traceSink
+	spanSink SpanSink
 }
 
 // Registry is a lightweight handle on a metric store. Scope derives
@@ -247,25 +248,127 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
+// Quantile estimates the q-th quantile by linear interpolation within
+// the bucket holding the target rank, with bucket edges clamped to the
+// observed [min, max] so the overflow bucket (and a sparse first
+// bucket) interpolate over real mass rather than to ±Inf. It returns
+// NaN for q outside [0, 1] and 0 for an empty histogram. The estimate
+// is deterministic: a pure function of the bucket counts and extrema.
+func (h *Histogram) Quantile(q float64) float64 {
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+// quantileLocked is Quantile for callers already holding h.mu.
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	var cum int64
+	for i, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := h.min
+			if i > 0 && h.bounds[i-1] > lo {
+				lo = h.bounds[i-1]
+			}
+			hi := h.max
+			if i < len(h.bounds) && h.bounds[i] < hi {
+				hi = h.bounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	return h.max
+}
+
 // Point is one sample of a time series.
 type Point struct {
 	T float64 `json:"t"`
 	V float64 `json:"v"`
 }
 
-// Series is an append-only sampled time series.
+// Series is an append-only sampled time series. The zero value is
+// unbounded; SetMaxPoints bounds its memory with deterministic 2×
+// decimation, so long simulations cannot grow the registry without
+// limit.
 type Series struct {
-	mu  sync.Mutex
-	pts []Point
+	mu     sync.Mutex
+	pts    []Point
+	max    int   // 0 = unbounded
+	stride int64 // accept every stride-th offered sample; 0/1 = all
+	n      int64 // samples offered so far
 }
 
-// Sample appends one (t, v) point.
+// SetMaxPoints bounds the series at max retained points (≤ 0 restores
+// the unbounded zero-value behavior). When an append would exceed the
+// bound, the series decimates 2×: every other retained point is
+// dropped and the acceptance stride doubles, so the retained points
+// stay evenly spaced over the offered samples and the result is a pure
+// function of the sample sequence — worker-count determinism is
+// preserved. Retained count stays within (max/2, max].
+func (s *Series) SetMaxPoints(max int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if max <= 0 {
+		s.max = 0
+		return
+	}
+	s.max = max
+	for len(s.pts) > s.max {
+		s.decimateLocked()
+	}
+}
+
+// decimateLocked halves the retained points (keep-every-other) and
+// doubles the acceptance stride.
+func (s *Series) decimateLocked() {
+	kept := s.pts[:0]
+	for i := 0; i < len(s.pts); i += 2 {
+		kept = append(kept, s.pts[i])
+	}
+	s.pts = kept
+	if s.stride < 1 {
+		s.stride = 1
+	}
+	s.stride *= 2
+}
+
+// Sample appends one (t, v) point, subject to the decimation stride
+// when the series is bounded.
 func (s *Series) Sample(t, v float64) {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
+	offered := s.n
+	s.n++
+	if s.stride > 1 && offered%s.stride != 0 {
+		s.mu.Unlock()
+		return
+	}
 	s.pts = append(s.pts, Point{T: t, V: v})
+	if s.max > 0 && len(s.pts) > s.max {
+		s.decimateLocked()
+	}
 	s.mu.Unlock()
 }
 

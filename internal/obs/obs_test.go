@@ -3,7 +3,10 @@ package obs_test
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -233,7 +236,9 @@ func TestEngineMetricsRecordsRuns(t *testing.T) {
 }
 
 func TestStartPprofServes(t *testing.T) {
-	addr, err := obs.StartPprof("127.0.0.1:0")
+	reg := obs.New()
+	reg.Counter("frames_total").Add(3)
+	addr, err := obs.StartPprof("127.0.0.1:0", reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,8 +246,171 @@ func TestStartPprofServes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("pprof index status = %d", resp.StatusCode)
 	}
+	resp, err = http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/metrics status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "frames_total 3") {
+		t.Errorf("/metrics missing counter, got:\n%s", body)
+	}
+
+	// A nil registry still serves an (empty) exposition.
+	addr, err = obs.StartPprof("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("nil-registry /metrics status = %d", resp.StatusCode)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := obs.New()
+	h := r.Histogram("lat", 1, 2, 4)
+	// 4 observations in (0,1], 4 in (1,2], 2 in the overflow bucket.
+	for _, v := range []float64{0.2, 0.4, 0.6, 0.8, 1.2, 1.4, 1.6, 1.8, 5, 9} {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		q, want float64
+	}{
+		// Linear interpolation inside each bucket; edges clamp to the
+		// observed min/max (0.2 and 9), and the overflow bucket
+		// interpolates over [4, max].
+		{0.0, 0.2},
+		{0.2, 0.2 + 0.5*(1-0.2)},
+		{0.4, 1},
+		{0.5, 1.25},
+		{0.8, 2},
+		{0.9, 4 + 0.5*(9-4)},
+		{1.0, 9},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(h.Quantile(q)) {
+			t.Errorf("Quantile(%v) must be NaN", q)
+		}
+	}
+	if got := r.Histogram("empty").Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %v, want 0", got)
+	}
+	var nilH *obs.Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %v, want 0", got)
+	}
+	// A single observation pins every quantile.
+	one := r.Histogram("one", 10)
+	one.Observe(3)
+	if got := one.Quantile(0.99); got != 3 {
+		t.Errorf("single-observation Quantile = %v, want 3", got)
+	}
+}
+
+func TestSnapshotCarriesQuantiles(t *testing.T) {
+	r := obs.New()
+	h := r.Histogram("lat", 1, 2)
+	for _, v := range []float64{0.5, 1.5, 1.5, 1.8} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %d", len(s.Histograms))
+	}
+	hv := s.Histograms[0]
+	if hv.P50 != h.Quantile(0.50) || hv.P95 != h.Quantile(0.95) || hv.P99 != h.Quantile(0.99) {
+		t.Errorf("snapshot quantiles %v/%v/%v disagree with Quantile", hv.P50, hv.P95, hv.P99)
+	}
+	if !strings.Contains(s.String(), "p50=") || !strings.Contains(s.String(), "p99=") {
+		t.Errorf("snapshot text missing quantiles:\n%s", s.String())
+	}
+}
+
+func TestSeriesUnboundedByDefault(t *testing.T) {
+	r := obs.New()
+	s := r.Series("q")
+	for i := 0; i < 10000; i++ {
+		s.Sample(float64(i), float64(i))
+	}
+	if got := len(s.Points()); got != 10000 {
+		t.Errorf("unbounded series kept %d points, want 10000", got)
+	}
+}
+
+func TestSeriesMaxPointsDecimates(t *testing.T) {
+	r := obs.New()
+	s := r.Series("q")
+	s.SetMaxPoints(100)
+	for i := 0; i < 10000; i++ {
+		s.Sample(float64(i), float64(2*i))
+	}
+	pts := s.Points()
+	if len(pts) > 100 || len(pts) <= 50 {
+		t.Fatalf("bounded series kept %d points, want in (50, 100]", len(pts))
+	}
+	// Decimation is deterministic keep-every-other: retained points sit
+	// at offered indices ≡ 0 (mod stride) for a power-of-two stride, so
+	// they stay evenly spaced from t=0.
+	stride := pts[1].T - pts[0].T
+	for i, p := range pts {
+		if p.T != float64(i)*stride {
+			t.Fatalf("point %d at t=%v, want even spacing %v", i, p.T, stride)
+		}
+		if p.V != 2*p.T {
+			t.Fatalf("point %d value %v decoupled from its sample", i, p.V)
+		}
+	}
+	if s2 := func() []obs.Point {
+		rr := obs.New().Series("q")
+		rr.SetMaxPoints(100)
+		for i := 0; i < 10000; i++ {
+			rr.Sample(float64(i), float64(2*i))
+		}
+		return rr.Points()
+	}(); !reflect.DeepEqual(pts, s2) {
+		t.Error("decimation must be a pure function of the sample sequence")
+	}
+}
+
+func TestSeriesSetMaxPointsOnExisting(t *testing.T) {
+	r := obs.New()
+	s := r.Series("q")
+	for i := 0; i < 1000; i++ {
+		s.Sample(float64(i), 0)
+	}
+	s.SetMaxPoints(64)
+	if got := len(s.Points()); got > 64 {
+		t.Errorf("SetMaxPoints on a long series kept %d points", got)
+	}
+	// Unbounding again stops decimation of new samples but does not
+	// restore dropped ones.
+	s.SetMaxPoints(0)
+	n := len(s.Points())
+	s.Sample(1000, 0)
+	// The stride survives until reset; acceptance is still strided.
+	if got := len(s.Points()); got < n {
+		t.Errorf("series shrank after unbounding: %d -> %d", n, got)
+	}
+	var nilS *obs.Series
+	nilS.SetMaxPoints(10)
+	nilS.Sample(1, 1)
 }

@@ -6,13 +6,15 @@ import (
 	"net/http/pprof"
 )
 
-// StartPprof serves the net/http/pprof profiling endpoints on addr
-// (e.g. "localhost:6060"; a ":0" port picks a free one) in a background
-// goroutine and returns the bound address. It uses a private mux, so
+// StartPprof serves the net/http/pprof profiling endpoints — plus the
+// registry's Prometheus text exposition at /metrics — on addr (e.g.
+// "localhost:6060"; a ":0" port picks a free one) in a background
+// goroutine and returns the bound address. reg may be nil, in which
+// case /metrics serves an empty exposition. It uses a private mux, so
 // nothing leaks onto http.DefaultServeMux. The listener lives until the
 // process exits — this is an opt-in debugging endpoint for the CLIs,
 // not a managed server.
-func StartPprof(addr string) (string, error) {
+func StartPprof(addr string, reg *Registry) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
@@ -23,6 +25,7 @@ func StartPprof(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", PromHandler(reg))
 	go func() {
 		srv := &http.Server{Handler: mux}
 		_ = srv.Serve(ln)

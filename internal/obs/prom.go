@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// PromText renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4), hand-rolled so the repository stays dependency-free:
+//
+//   - counters expose as "<name> <value>" with TYPE counter,
+//   - gauges as TYPE gauge,
+//   - histograms as cumulative "<name>_bucket{le=...}" series plus
+//     _sum and _count, with the +Inf bucket closing the series,
+//   - a time series exposes its latest point as a gauge (Prometheus
+//     scrapes are point-in-time; history stays in the snapshot), and
+//   - spans expose their completion count as "<name>_spans_total".
+//
+// Metric names are sanitized to the Prometheus charset (slashes and
+// other separators become "_"), and the output preserves the
+// snapshot's name sorting, so identical metric state renders to
+// identical bytes.
+func PromText(s Snapshot) string {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		name := promName(c.Name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, c.Value)
+	}
+	for _, gv := range s.Gauges {
+		name := promName(gv.Name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", name, name, g(gv.Value))
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		var cum int64
+		for _, bk := range h.Buckets {
+			cum += bk.N
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, g(bk.LE), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", name, g(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+	}
+	for _, ts := range s.Series {
+		if len(ts.Points) == 0 {
+			continue
+		}
+		last := ts.Points[len(ts.Points)-1]
+		name := promName(ts.Name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", name, name, g(last.V))
+	}
+	for _, sp := range s.Spans {
+		name := promName(sp.Name) + "_spans_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, sp.Count)
+	}
+	return b.String()
+}
+
+// promName maps a registry name onto the Prometheus metric charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// PromHandler serves the registry's live snapshot at scrape time in
+// the Prometheus text format. A nil registry serves an empty body.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, PromText(r.Snapshot()))
+	})
+}

@@ -1,0 +1,149 @@
+package obs_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sudc/internal/obs"
+)
+
+// parseProm splits an exposition into (metric line, TYPE line) pairs and
+// sanity-checks the format: every sample line is "name value" with a
+// preceding "# TYPE name kind" comment.
+func parseProm(t *testing.T, text string) (names []string, samples map[string]string) {
+	t.Helper()
+	samples = map[string]string{}
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			kind := parts[3]
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			typed[parts[2]] = true
+			names = append(names, parts[2])
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name, val := line[:i], line[i+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		base := name
+		if j := strings.IndexByte(base, '{'); j >= 0 {
+			base = base[:j]
+		}
+		base = strings.TrimSuffix(strings.TrimSuffix(base, "_sum"), "_count")
+		base = strings.TrimSuffix(base, "_bucket")
+		if !typed[base] {
+			t.Fatalf("sample %q has no preceding TYPE comment", line)
+		}
+		samples[name] = val
+	}
+	return names, samples
+}
+
+func TestPromTextExposition(t *testing.T) {
+	r := obs.New()
+	r.Counter("netsim/frames/generated").Add(7)
+	r.Counter("netsim/frames/shed").Add(2)
+	r.Gauge("design/wet_mass_kg").Set(1234.5)
+	h := r.Histogram("latency_s", 0.1, 1)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.Series("queue/depth").Sample(1, 3)
+	r.Series("queue/depth").Sample(2, 9)
+	sp := r.StartSpan("run")
+	sp.End()
+
+	text := obs.PromText(r.Snapshot())
+	names, samples := parseProm(t, text)
+
+	if got := samples["netsim_frames_generated"]; got != "7" {
+		t.Errorf("counter sample = %q, want 7", got)
+	}
+	if got := samples["design_wet_mass_kg"]; got != "1234.5" {
+		t.Errorf("gauge sample = %q", got)
+	}
+	// Histogram buckets are cumulative and close with +Inf == count.
+	if samples[`latency_s_bucket{le="0.1"}`] != "1" ||
+		samples[`latency_s_bucket{le="1"}`] != "2" ||
+		samples[`latency_s_bucket{le="+Inf"}`] != "3" ||
+		samples["latency_s_count"] != "3" {
+		t.Errorf("histogram samples wrong:\n%s", text)
+	}
+	// A series exposes its latest point.
+	if got := samples["queue_depth"]; got != "9" {
+		t.Errorf("series sample = %q, want latest point 9", got)
+	}
+	if got := samples["run_spans_total"]; got != "1" {
+		t.Errorf("span counter = %q, want 1", got)
+	}
+	// Name ordering follows the snapshot's sorted sections, so the
+	// exposition is deterministic; within each section names ascend.
+	sections := [][]string{names[:2], {names[2]}, {names[3]}, {names[4]}, {names[5]}}
+	for _, sec := range sections {
+		if !sort.StringsAreSorted(sec) {
+			t.Errorf("metric names not sorted within section: %v", names)
+		}
+	}
+	if text != obs.PromText(r.Snapshot()) {
+		t.Error("exposition is not deterministic across snapshots")
+	}
+}
+
+func TestPromNameSanitized(t *testing.T) {
+	r := obs.New()
+	r.Counter("netsim/r000/frames.ok-total").Inc()
+	text := obs.PromText(r.Snapshot())
+	if !strings.Contains(text, "netsim_r000_frames_ok_total 1") {
+		t.Errorf("name not sanitized to Prometheus charset:\n%s", text)
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	r := obs.New()
+	r.Counter("hits").Add(5)
+	srv := httptest.NewServer(obs.PromHandler(r))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "hits 5") {
+		t.Errorf("handler body missing counter:\n%s", body)
+	}
+
+	// A nil registry serves an empty, well-typed exposition.
+	nilSrv := httptest.NewServer(obs.PromHandler(nil))
+	defer nilSrv.Close()
+	resp2, err := http.Get(nilSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("nil-registry handler status = %d", resp2.StatusCode)
+	}
+}

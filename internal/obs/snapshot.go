@@ -53,13 +53,17 @@ type BucketValue struct {
 
 // HistogramValue is one histogram's snapshot. Overflow counts
 // observations above the last finite bound (the +Inf bucket, kept out
-// of Buckets so the JSON encoding stays finite).
+// of Buckets so the JSON encoding stays finite). P50/P95/P99 are
+// bucket-interpolated quantile estimates (Histogram.Quantile).
 type HistogramValue struct {
 	Name     string        `json:"name"`
 	Count    int64         `json:"count"`
 	Sum      float64       `json:"sum"`
 	Min      float64       `json:"min"`
 	Max      float64       `json:"max"`
+	P50      float64       `json:"p50"`
+	P95      float64       `json:"p95"`
+	P99      float64       `json:"p99"`
 	Buckets  []BucketValue `json:"buckets,omitempty"`
 	Overflow int64         `json:"overflow"`
 }
@@ -104,6 +108,9 @@ func (r *Registry) Snapshot(opts ...SnapshotOption) Snapshot {
 		hv := HistogramValue{Name: name, Count: h.count, Sum: h.sum}
 		if h.count > 0 {
 			hv.Min, hv.Max = h.min, h.max
+			hv.P50 = h.quantileLocked(0.50)
+			hv.P95 = h.quantileLocked(0.95)
+			hv.P99 = h.quantileLocked(0.99)
 		}
 		for i, b := range h.bounds {
 			hv.Buckets = append(hv.Buckets, BucketValue{LE: b, N: h.counts[i]})
@@ -147,8 +154,8 @@ func (s Snapshot) String() string {
 		fmt.Fprintf(&b, "gauge %s %s\n", gv.Name, g(gv.Value))
 	}
 	for _, h := range s.Histograms {
-		fmt.Fprintf(&b, "histogram %s count=%d sum=%s min=%s max=%s",
-			h.Name, h.Count, g(h.Sum), g(h.Min), g(h.Max))
+		fmt.Fprintf(&b, "histogram %s count=%d sum=%s min=%s max=%s p50=%s p95=%s p99=%s",
+			h.Name, h.Count, g(h.Sum), g(h.Min), g(h.Max), g(h.P50), g(h.P95), g(h.P99))
 		for _, bk := range h.Buckets {
 			fmt.Fprintf(&b, " le%s=%d", g(bk.LE), bk.N)
 		}

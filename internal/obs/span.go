@@ -18,6 +18,26 @@ type traceSink struct {
 	w io.Writer
 }
 
+// SpanSink receives every completed span — the structural hook that
+// lets the flight recorder (internal/obs/trace) log span events
+// without this package importing it, the same no-cycle pattern as
+// par.Observer / EngineMetrics.
+type SpanSink interface {
+	SpanDone(name string, wall time.Duration, sim float64)
+}
+
+// SetSpanSink installs (or, with nil, removes) a sink notified at
+// every Span.End with the span's name, wall duration, and simulated
+// duration.
+func (r *Registry) SetSpanSink(s SpanSink) {
+	if r == nil {
+		return
+	}
+	r.st.mu.Lock()
+	r.st.spanSink = s
+	r.st.mu.Unlock()
+}
+
 // SetTraceWriter directs a live trace line at every Span.End to w
 // (nil disables). Trace lines carry wall-clock durations and are for
 // humans; the deterministic record is the snapshot.
@@ -75,7 +95,11 @@ func (s *Span) End() {
 	agg.wall += wall
 	agg.sim += s.sim
 	w := s.st.trace.w
+	sink := s.st.spanSink
 	s.st.mu.Unlock()
+	if sink != nil {
+		sink.SpanDone(s.name, wall, s.sim)
+	}
 	if w != nil {
 		if s.sim != 0 {
 			fmt.Fprintf(w, "trace %s wall=%v sim=%gs\n", s.name, wall.Round(time.Microsecond), s.sim)

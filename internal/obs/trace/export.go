@@ -1,0 +1,311 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MarshalJSON encodes the kind as its stable wire name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	if int(k) >= len(kindNames) {
+		return nil, fmt.Errorf("trace: unknown kind %d", uint8(k))
+	}
+	return json.Marshal(kindNames[k])
+}
+
+// UnmarshalJSON decodes a wire name back into a Kind, rejecting
+// unknown names.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, ok := kindByName[s]
+	if !ok {
+		return fmt.Errorf("trace: unknown event kind %q", s)
+	}
+	*k = v
+	return nil
+}
+
+// Line is one decoded JSONL record: an event plus the scope it was
+// recorded under ("" = the root scope).
+type Line struct {
+	Scope string `json:"scope,omitempty"`
+	Event
+}
+
+// WriteJSONL writes the recorder — root scope first, then child scopes
+// ascending by name — as one JSON object per line. The output is a
+// pure function of the recorded events, so deterministic recordings
+// export to byte-identical files.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	var err error
+	r.walk("", func(scope string, events []Event) {
+		if err != nil {
+			return
+		}
+		for _, e := range events {
+			if encErr := enc.Encode(Line{Scope: scope, Event: e}); encErr != nil {
+				err = encErr
+				return
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodeJSONL reads a WriteJSONL stream back into a recorder (scopes
+// become children of the root), rejecting malformed lines and unknown
+// event kinds. Blank lines are skipped, so hand-edited traces with a
+// trailing newline still load.
+func DecodeJSONL(rd io.Reader) (*Recorder, error) {
+	rec := New(0)
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var ln Line
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ln); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", n, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("trace: line %d: trailing data after event", n)
+		}
+		target := rec
+		if ln.Scope != "" {
+			target = rec.Child(ln.Scope)
+		}
+		target.Record(ln.Event)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// Chrome trace-event export. Format reference: the Trace Event Format
+// spec consumed by Perfetto and chrome://tracing. Each recorder scope
+// becomes one process; inside a process, tid 1 is the frame timeline
+// (flow anchors, sheds, losses), tid 2 the ISL (transfer slices,
+// outage windows, retries), and tid 10+w worker w (batch slices, SEFI
+// windows, deaths). Frames are flow events ("s"/"t"/"f" with a
+// per-frame id) threading capture → dispatch → compute end.
+const (
+	tidFrames = 1
+	tidISL    = 2
+	tidWorker = 10 // + worker index
+)
+
+// chromeEvent is one trace-event record. Args is encoded with sorted
+// keys by encoding/json, keeping the export deterministic.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const usPerSec = 1e6
+
+// WriteChrome writes the recorder as Chrome trace-event JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Deterministic for
+// deterministic recordings, like WriteJSONL.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var out []chromeEvent
+	pid := 0
+	r.walk("", func(scope string, events []Event) {
+		pid++
+		out = append(out, scopeChrome(pid, scope, events)...)
+	})
+	b, err := json.Marshal(chromeFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// scopeChrome renders one scope's events into trace-event records.
+func scopeChrome(pid int, scope string, events []Event) []chromeEvent {
+	if scope == "" {
+		scope = "main"
+	}
+	var out []chromeEvent
+	meta := func(tid int, name string) {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": scope},
+	})
+	meta(tidFrames, "frames")
+	meta(tidISL, "ISL")
+	namedWorkers := map[int]bool{}
+	worker := func(node int) int {
+		if node >= 0 && !namedWorkers[node] {
+			namedWorkers[node] = true
+			meta(tidWorker+node, fmt.Sprintf("worker %02d", node))
+		}
+		return tidWorker + node
+	}
+	flowID := func(frame int64) string { return fmt.Sprintf("%s/f%d", scope, frame) }
+
+	var (
+		sendStart   = map[int64]float64{} // frame -> in-flight transfer start
+		computeOpen = map[int]openBatch{} // node -> open batch slice
+		outageOpen  = -1.0
+		outageCause string
+		lastT       float64
+	)
+	for _, e := range events {
+		if e.T > lastT {
+			lastT = e.T
+		}
+		ts := e.T * usPerSec
+		switch e.Kind {
+		case FrameCaptured:
+			out = append(out,
+				chromeEvent{Name: fmt.Sprintf("frame %d", e.Frame), Ph: "i", Ts: ts,
+					Pid: pid, Tid: tidFrames, S: "t",
+					Args: map[string]any{"satellite": e.Node}},
+				chromeEvent{Name: "frame", Ph: "s", Ts: ts, Pid: pid, Tid: tidFrames,
+					ID: flowID(e.Frame)})
+		case ISLSendStart:
+			sendStart[e.Frame] = e.T
+		case ISLSendEnd:
+			start, ok := sendStart[e.Frame]
+			if !ok {
+				break
+			}
+			delete(sendStart, e.Frame)
+			ev := chromeEvent{Name: fmt.Sprintf("xfer f%d", e.Frame), Ph: "X",
+				Ts: start * usPerSec, Dur: (e.T - start) * usPerSec,
+				Pid: pid, Tid: tidISL}
+			if e.Cause != "" {
+				ev.Name = fmt.Sprintf("xfer f%d (aborted)", e.Frame)
+				ev.Args = map[string]any{"cause": e.Cause}
+			}
+			out = append(out, ev)
+		case Retry:
+			out = append(out, chromeEvent{Name: fmt.Sprintf("retry f%d", e.Frame),
+				Ph: "i", Ts: ts, Pid: pid, Tid: tidISL, S: "t",
+				Args: map[string]any{"attempt": e.Attempt, "backoff_s": e.Backoff, "cause": e.Cause}})
+		case Shed:
+			out = append(out, chromeEvent{Name: fmt.Sprintf("shed f%d", e.Frame),
+				Ph: "i", Ts: ts, Pid: pid, Tid: tidFrames, S: "t"})
+		case Lost:
+			out = append(out, chromeEvent{Name: fmt.Sprintf("lost f%d", e.Frame),
+				Ph: "i", Ts: ts, Pid: pid, Tid: tidFrames, S: "t",
+				Args: map[string]any{"attempts": e.Attempt, "cause": e.Cause}})
+		case Dispatched:
+			out = append(out, chromeEvent{Name: "frame", Ph: "t", Ts: ts,
+				Pid: pid, Tid: worker(e.Node), ID: flowID(e.Frame), BP: "e"})
+		case ComputeStart:
+			if e.Frame == 0 {
+				computeOpen[e.Node] = openBatch{start: e.T, n: e.N}
+			}
+		case ComputeEnd:
+			if e.Frame != 0 {
+				out = append(out, chromeEvent{Name: "frame", Ph: "f", Ts: ts,
+					Pid: pid, Tid: worker(e.Node), ID: flowID(e.Frame), BP: "e"})
+				break
+			}
+			ob, ok := computeOpen[e.Node]
+			if !ok {
+				break
+			}
+			delete(computeOpen, e.Node)
+			out = append(out, chromeEvent{Name: fmt.Sprintf("batch ×%d", ob.n), Ph: "X",
+				Ts: ob.start * usPerSec, Dur: (e.T - ob.start) * usPerSec,
+				Pid: pid, Tid: worker(e.Node)})
+		case NodeDeath:
+			tid := worker(e.Node)
+			if ob, ok := computeOpen[e.Node]; ok {
+				// The batch died with its worker: close the slice here.
+				delete(computeOpen, e.Node)
+				out = append(out, chromeEvent{Name: fmt.Sprintf("batch ×%d (stranded)", ob.n),
+					Ph: "X", Ts: ob.start * usPerSec, Dur: (e.T - ob.start) * usPerSec,
+					Pid: pid, Tid: tid})
+			}
+			out = append(out, chromeEvent{Name: "death", Ph: "i", Ts: ts,
+				Pid: pid, Tid: tid, S: "t"})
+		case SEFIStart:
+			out = append(out, chromeEvent{Name: "SEFI", Ph: "X", Ts: ts,
+				Dur: e.Dur * usPerSec, Pid: pid, Tid: worker(e.Node)})
+		case OutageStart:
+			outageOpen, outageCause = e.T, e.Cause
+		case OutageEnd:
+			if outageOpen < 0 {
+				break
+			}
+			out = append(out, chromeEvent{Name: "outage", Ph: "X",
+				Ts: outageOpen * usPerSec, Dur: (e.T - outageOpen) * usPerSec,
+				Pid: pid, Tid: tidISL, Args: map[string]any{"cause": outageCause}})
+			outageOpen = -1
+		case SpanDone:
+			out = append(out, chromeEvent{Name: e.Name, Ph: "X",
+				Ts: (e.T - e.Dur) * usPerSec, Dur: e.Dur * usPerSec,
+				Pid: pid, Tid: tidFrames})
+		}
+	}
+	// Close windows still open at the end of the recording.
+	if outageOpen >= 0 {
+		out = append(out, chromeEvent{Name: "outage", Ph: "X",
+			Ts: outageOpen * usPerSec, Dur: (lastT - outageOpen) * usPerSec,
+			Pid: pid, Tid: tidISL, Args: map[string]any{"cause": outageCause}})
+	}
+	nodes := make([]int, 0, len(computeOpen))
+	for n := range computeOpen {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		ob := computeOpen[n]
+		out = append(out, chromeEvent{Name: fmt.Sprintf("batch ×%d (open)", ob.n),
+			Ph: "X", Ts: ob.start * usPerSec, Dur: (lastT - ob.start) * usPerSec,
+			Pid: pid, Tid: worker(n)})
+	}
+	return out
+}
+
+type openBatch struct {
+	start float64
+	n     int
+}

@@ -1,0 +1,56 @@
+package trace_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"sudc/internal/obs/trace"
+)
+
+// FuzzDecodeJSONL pins the decoder's round-trip property: any input it
+// accepts must re-encode (WriteJSONL) and decode again to the same
+// recorder, and the re-encoding must be a fixed point. Inputs it
+// rejects must fail without panicking.
+func FuzzDecodeJSONL(f *testing.F) {
+	var seed bytes.Buffer
+	if err := sampleRecorder().WriteJSONL(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{"t":1,"k":"shed","f":3,"n":-1}`))
+	f.Add([]byte(`{"scope":"r007","t":0.25,"k":"retry","f":1,"n":-1,"a":2,"b":4,"c":"isl-outage#1"}`))
+	f.Add([]byte(`{"t":0,"k":"span","n":-1,"d":0.5,"sim":60,"name":"run"}`))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"t":1,"k":"warp_drive","n":-1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := trace.DecodeJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := rec.WriteJSONL(&out); err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		back, err := trace.DecodeJSONL(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded stream failed to decode: %v\n%s", err, out.Bytes())
+		}
+		if !reflect.DeepEqual(back.Events(), rec.Events()) ||
+			!reflect.DeepEqual(back.Scopes(), rec.Scopes()) {
+			t.Fatal("round trip changed the recorder")
+		}
+		for _, s := range rec.Scopes() {
+			if !reflect.DeepEqual(back.Child(s).Events(), rec.Child(s).Events()) {
+				t.Fatalf("round trip changed scope %q", s)
+			}
+		}
+		var out2 bytes.Buffer
+		if err := back.WriteJSONL(&out2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatal("encode is not a fixed point after one round trip")
+		}
+	})
+}
