@@ -1,0 +1,258 @@
+// Command benchdiff turns benchmark drift into a machine-checked gate.
+// It parses `go test -bench` output and compares it either against a
+// second bench output (old vs new) or against the repository's recorded
+// BENCH_*.json baselines, printing a per-benchmark delta table and
+// exiting nonzero when any benchmark regressed beyond the threshold.
+//
+// Usage:
+//
+//	benchdiff [-threshold pct] old.txt new.txt
+//	benchdiff [-threshold pct] -baseline BENCH_netsim.json [-baseline ...] new.txt
+//
+// Bench output may contain repeated runs of a benchmark (go test
+// -count=N); the median ns/op per benchmark is compared, so the gate is
+// robust to a single noisy run. CI runs the netsim and par benchmarks
+// through this tool instead of eyeballing free-text bench logs: every
+// PR's overhead budget is enforced, not hand-recorded.
+//
+// Exit codes: 0 pass, 1 regression (or baseline benchmark missing from
+// the input), 2 usage or parse error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+// "BenchmarkNetsim-8   20   15712203 ns/op   179296 B/op   67 allocs/op".
+// The trailing -8 is the GOMAXPROCS suffix and is stripped so results
+// compare across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+)\s+ns/op`)
+
+// parseBench collects ns/op samples per benchmark name from bench output.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		out[m[1]] = append(out[m[1]], ns)
+	}
+	return out, sc.Err()
+}
+
+// median returns the median of a non-empty sample set.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// medians reduces parseBench samples to one median ns/op per benchmark.
+func medians(samples map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(samples))
+	for name, xs := range samples {
+		out[name] = median(xs)
+	}
+	return out
+}
+
+// baseline is the machine-readable slice of a BENCH_*.json file. The
+// files carry additional narrative fields (scenario, machine, notes,
+// prior_ns_per_op trajectory); benchdiff needs only the benchmark name
+// and its recorded median.
+type baseline struct {
+	Benchmark string  `json:"benchmark"`
+	NsPerOp   float64 `json:"ns_per_op"`
+}
+
+// readBaseline loads one BENCH_*.json baseline file.
+func readBaseline(path string) (baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return baseline{}, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return baseline{}, fmt.Errorf("benchdiff: %s: %v", path, err)
+	}
+	if b.Benchmark == "" || b.NsPerOp <= 0 {
+		return baseline{}, fmt.Errorf("benchdiff: %s: needs non-empty \"benchmark\" and positive \"ns_per_op\"", path)
+	}
+	return b, nil
+}
+
+// diff is one benchmark's old-vs-new comparison.
+type diff struct {
+	name     string
+	old, new float64
+	missing  bool // present in the baseline set but absent from the input
+}
+
+// computeDiffs pairs baseline entries with new results, sorted by name
+// for a deterministic report. Benchmarks in the input without a baseline
+// are ignored (they are counted by the caller for the note line).
+func computeDiffs(base, cur map[string]float64) []diff {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]diff, 0, len(names))
+	for _, name := range names {
+		d := diff{name: name, old: base[name]}
+		if ns, ok := cur[name]; ok {
+			d.new = ns
+		} else {
+			d.missing = true
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// report renders the delta table and verdict. It returns true when any
+// benchmark regressed beyond thresholdPct (or is missing from the
+// input). unmatched is the count of input benchmarks with no baseline.
+func report(w io.Writer, diffs []diff, thresholdPct float64, unmatched int) bool {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "benchmark\tbaseline ns/op\tnew ns/op\tdelta\t\n")
+	regressed := 0
+	for _, d := range diffs {
+		if d.missing {
+			fmt.Fprintf(tw, "%s\t%.0f\t-\tMISSING\t\n", d.name, d.old)
+			regressed++
+			continue
+		}
+		delta := 100 * (d.new - d.old) / d.old
+		mark := ""
+		if delta > thresholdPct {
+			mark = "  REGRESSION"
+			regressed++
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%%s\t\n", d.name, d.old, d.new, delta, mark)
+	}
+	tw.Flush()
+	if unmatched > 0 {
+		fmt.Fprintf(w, "note: %d benchmark(s) in the input had no baseline\n", unmatched)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(w, "FAIL: %d of %d benchmarks regressed more than %.1f%% (or are missing)\n",
+			regressed, len(diffs), thresholdPct)
+		return true
+	}
+	fmt.Fprintf(w, "PASS: %d benchmarks within %.1f%% of baseline\n", len(diffs), thresholdPct)
+	return false
+}
+
+// baselineList collects repeated -baseline flags.
+type baselineList []string
+
+func (b *baselineList) String() string     { return strings.Join(*b, ",") }
+func (b *baselineList) Set(v string) error { *b = append(*b, v); return nil }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 10, "regression threshold in percent")
+	var baselines baselineList
+	fs.Var(&baselines, "baseline", "BENCH_*.json baseline file (repeatable)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchdiff [-threshold pct] old.txt new.txt\n")
+		fmt.Fprintf(stderr, "       benchdiff [-threshold pct] -baseline BENCH_x.json [-baseline ...] new.txt\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var base map[string]float64
+	var newPath string
+	switch {
+	case len(baselines) > 0 && fs.NArg() == 1:
+		base = make(map[string]float64, len(baselines))
+		for _, path := range baselines {
+			b, err := readBaseline(path)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			base[b.Benchmark] = b.NsPerOp
+		}
+		newPath = fs.Arg(0)
+	case len(baselines) == 0 && fs.NArg() == 2:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		samples, err := parseBench(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if len(samples) == 0 {
+			fmt.Fprintf(stderr, "benchdiff: no benchmark results in %s\n", fs.Arg(0))
+			return 2
+		}
+		base = medians(samples)
+		newPath = fs.Arg(1)
+	default:
+		fs.Usage()
+		return 2
+	}
+
+	f, err := os.Open(newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	samples, err := parseBench(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if len(samples) == 0 {
+		fmt.Fprintf(stderr, "benchdiff: no benchmark results in %s\n", newPath)
+		return 2
+	}
+	cur := medians(samples)
+
+	unmatched := 0
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			unmatched++
+		}
+	}
+	if report(stdout, computeDiffs(base, cur), *threshold, unmatched) {
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

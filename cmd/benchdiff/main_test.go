@@ -1,0 +1,175 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report output")
+
+const oldBench = `goos: linux
+goarch: amd64
+pkg: sudc
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkNetsim-8         	      20	  30000000 ns/op	17517078 B/op	  270657 allocs/op
+BenchmarkNetsim-8         	      20	  29800000 ns/op	17517078 B/op	  270657 allocs/op
+BenchmarkNetsim-8         	      20	  30400000 ns/op	17517078 B/op	  270657 allocs/op
+BenchmarkNetsimObserved-8 	      20	  31000000 ns/op
+BenchmarkParOverhead/workers=4/items=65536-8 	    5000	  224000 ns/op	 3.4 ns/item
+PASS
+`
+
+const newBenchPass = `goos: linux
+BenchmarkNetsim-8         	      20	  15700000 ns/op	  179296 B/op	      67 allocs/op
+BenchmarkNetsimObserved-8 	      20	  31100000 ns/op
+BenchmarkParOverhead/workers=4/items=65536-8 	    5000	  220000 ns/op	 3.3 ns/item
+BenchmarkExtra-8          	      10	   1000000 ns/op
+PASS
+`
+
+const newBenchFail = `BenchmarkNetsim-8         	      20	  36000000 ns/op
+BenchmarkParOverhead/workers=4/items=65536-8 	    5000	  220000 ns/op
+PASS
+`
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("report drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGoldenPassReport pins the two-file comparison format byte-exact:
+// medians over repeated runs, name-sorted rows, the no-baseline note,
+// and the PASS verdict line.
+func TestGoldenPassReport(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeFile(t, dir, "old.txt", oldBench)
+	newPath := writeFile(t, dir, "new.txt", newBenchPass)
+	var out, errOut strings.Builder
+	if code := run([]string{"-threshold", "10", oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	checkGolden(t, "report_pass.golden", out.String())
+}
+
+// TestGoldenFailReport pins the regression format: the REGRESSION mark,
+// the MISSING row for a baseline benchmark absent from the input, and
+// the FAIL verdict with exit code 1.
+func TestGoldenFailReport(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeFile(t, dir, "old.txt", oldBench)
+	newPath := writeFile(t, dir, "new.txt", newBenchFail)
+	var out, errOut strings.Builder
+	if code := run([]string{"-threshold", "10", oldPath, newPath}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errOut.String())
+	}
+	checkGolden(t, "report_fail.golden", out.String())
+}
+
+// TestBaselineMode compares bench output against the repo's BENCH_*.json
+// schema: {"benchmark": ..., "ns_per_op": ...} plus narrative fields the
+// tool ignores.
+func TestBaselineMode(t *testing.T) {
+	dir := t.TempDir()
+	basePath := writeFile(t, dir, "BENCH_x.json", `{
+  "benchmark": "BenchmarkNetsim",
+  "scenario": "ignored narrative",
+  "ns_per_op": 15700000,
+  "prior_ns_per_op": 29800000
+}`)
+	newPath := writeFile(t, dir, "new.txt",
+		"BenchmarkNetsim-8 20 16000000 ns/op\nPASS\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-baseline", basePath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "PASS: 1 benchmarks within 10.0%") {
+		t.Errorf("unexpected report:\n%s", out.String())
+	}
+
+	// The same baseline fails once the input regresses past the threshold.
+	slowPath := writeFile(t, dir, "slow.txt",
+		"BenchmarkNetsim-8 20 18000000 ns/op\nPASS\n")
+	out.Reset()
+	if code := run([]string{"-baseline", basePath, slowPath}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("report missing REGRESSION mark:\n%s", out.String())
+	}
+}
+
+// TestRepoBaselinesParse guards the checked-in BENCH_*.json files: each
+// must carry the benchmark name and ns_per_op benchdiff keys.
+func TestRepoBaselinesParse(t *testing.T) {
+	for _, name := range []string{"BENCH_netsim.json", "BENCH_obs.json", "BENCH_trace.json", "BENCH_par.json"} {
+		b, err := readBaseline(filepath.Join("..", "..", name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !strings.HasPrefix(b.Benchmark, "Benchmark") {
+			t.Errorf("%s: benchmark %q does not name a Go benchmark", name, b.Benchmark)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	for _, args := range [][]string{
+		{},                              // no inputs
+		{"one.txt"},                     // one positional without baselines
+		{"-baseline", "x.json"},         // baselines without an input file
+		{"a.txt", "b.txt", "c.txt"},     // too many positionals
+		{"-threshold", "ten", "a", "b"}, // bad flag value
+	} {
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+	dir := t.TempDir()
+	empty := writeFile(t, dir, "empty.txt", "no benchmarks here\n")
+	full := writeFile(t, dir, "full.txt", "BenchmarkX-8 1 100 ns/op\n")
+	if code := run([]string{empty, full}, &out, &errOut); code != 2 {
+		t.Error("empty old file must be a usage error")
+	}
+	if code := run([]string{full, empty}, &out, &errOut); code != 2 {
+		t.Error("empty new file must be a usage error")
+	}
+}
+
+func TestMedianOverRepeatedRuns(t *testing.T) {
+	samples, err := parseBench(strings.NewReader(oldBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := median(samples["BenchmarkNetsim"]); got != 30000000 {
+		t.Errorf("median = %v, want 30000000", got)
+	}
+	if got := median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("even-count median = %v, want 2.5", got)
+	}
+}

@@ -1,0 +1,102 @@
+package netsim
+
+// frameDeque is a growable ring buffer of frames. The ISL and input
+// queues used to be plain slices advanced by reslicing (`q = q[1:]`),
+// which walks the backing array forward until append must reallocate —
+// a steady drip of allocations proportional to the frame count. The ring
+// reuses its array forever: steady-state push/pop is allocation-free,
+// and pushFront (batch re-dispatch after a node death) is O(1) instead
+// of a copy of the whole queue.
+type frameDeque struct {
+	buf  []frame
+	head int // index of the front element
+	n    int
+}
+
+func (d *frameDeque) len() int { return d.n }
+
+// reset empties the deque, keeping the backing array. Stale frames are
+// plain value structs (no pointers), so they need no clearing to be
+// GC-safe.
+func (d *frameDeque) reset() { d.head, d.n = 0, 0 }
+
+// at returns the i-th element from the front (0 ≤ i < n).
+func (d *frameDeque) at(i int) *frame {
+	j := d.head + i
+	if j >= len(d.buf) {
+		j -= len(d.buf)
+	}
+	return &d.buf[j]
+}
+
+func (d *frameDeque) front() *frame { return &d.buf[d.head] }
+
+// grow reallocates to at least min capacity, unwrapping the ring.
+func (d *frameDeque) grow(min int) {
+	newCap := 2 * len(d.buf)
+	if newCap < min {
+		newCap = min
+	}
+	if newCap < 16 {
+		newCap = 16
+	}
+	nb := make([]frame, newCap)
+	for i := 0; i < d.n; i++ {
+		nb[i] = *d.at(i)
+	}
+	d.buf, d.head = nb, 0
+}
+
+func (d *frameDeque) pushBack(f frame) {
+	if d.n == len(d.buf) {
+		d.grow(d.n + 1)
+	}
+	j := d.head + d.n
+	if j >= len(d.buf) {
+		j -= len(d.buf)
+	}
+	d.buf[j] = f
+	d.n++
+}
+
+func (d *frameDeque) pushFront(f frame) {
+	if d.n == len(d.buf) {
+		d.grow(d.n + 1)
+	}
+	d.head--
+	if d.head < 0 {
+		d.head += len(d.buf)
+	}
+	d.buf[d.head] = f
+	d.n++
+}
+
+func (d *frameDeque) popFront() frame {
+	f := d.buf[d.head]
+	d.head++
+	if d.head >= len(d.buf) {
+		d.head = 0
+	}
+	d.n--
+	if d.n == 0 {
+		d.head = 0
+	}
+	return f
+}
+
+// removeAt deletes the i-th element from the front, shifting whichever
+// side of the ring is shorter. Only load shedding uses it, and shedding
+// already paid an O(n) scan to find the lowest-value frame.
+func (d *frameDeque) removeAt(i int) {
+	if i < d.n-1-i {
+		for j := i; j > 0; j-- {
+			*d.at(j) = *d.at(j - 1)
+		}
+		d.popFront()
+	} else {
+		for j := i; j < d.n-1; j++ {
+			*d.at(j) = *d.at(j + 1)
+		}
+		d.n--
+	}
+}

@@ -50,6 +50,7 @@ type sampleState struct {
 // process worker count — the determinism contract of PR 1/2 extends to
 // the metrics.
 type recorder struct {
+	sim    *simulator
 	period float64 // grid spacing, simulated seconds
 	next   float64 // next grid point to sample
 
@@ -65,12 +66,13 @@ type recorder struct {
 	backoff *obs.Histogram
 }
 
-func newRecorder(reg *obs.Registry, every time.Duration) *recorder {
+func newRecorder(reg *obs.Registry, every time.Duration, sim *simulator) *recorder {
 	period := every.Seconds()
 	if period <= 0 {
 		period = DefaultSampleEvery.Seconds()
 	}
 	return &recorder{
+		sim:        sim,
 		period:     period,
 		next:       period,
 		queueDepth: reg.Series("queue/depth"),
@@ -96,18 +98,18 @@ func (r *recorder) record(s sampleState) {
 }
 
 // catchUp samples every grid point strictly before simulated time t,
-// using state — the state valid since the previously applied event.
-func (r *recorder) catchUp(t float64, state func(t float64) sampleState) {
+// using the simulator state valid since the previously applied event.
+func (r *recorder) catchUp(t float64) {
 	for r.next < t {
-		r.record(state(r.next))
+		r.record(r.sim.sampleState(r.next))
 		r.next += r.period
 	}
 }
 
 // finish samples the remaining grid points through the horizon.
-func (r *recorder) finish(horizon float64, state func(t float64) sampleState) {
+func (r *recorder) finish(horizon float64) {
 	for r.next <= horizon {
-		r.record(state(r.next))
+		r.record(r.sim.sampleState(r.next))
 		r.next += r.period
 	}
 }

@@ -23,12 +23,9 @@
 package netsim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
-	"sort"
 	"time"
 
 	"sudc/internal/constellation"
@@ -267,25 +264,6 @@ type event struct {
 	seq  int     // heap tiebreak for determinism
 }
 
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
-}
-
 type frame struct {
 	id    int64   // stable 1-based frame ID, assigned in capture order
 	born  float64 // generation time, s
@@ -303,10 +281,30 @@ type workerState struct {
 	batch  []frame // in-flight frames, for re-dispatch on death
 }
 
-// Run executes the simulation with a fresh RNG seeded from c.Seed — the
-// deterministic convenience wrapper around RunWithRand.
+// Run executes the simulation seeded from c.Seed — the deterministic
+// convenience wrapper around RunWithRand. The RNG stream is identical to
+// rand.New(rand.NewSource(c.Seed)); Run reseeds a pooled generator in
+// place instead of allocating its ~5 KB state table per run.
 func Run(c Config) (Stats, error) {
-	return RunWithRand(c, rand.New(rand.NewSource(c.Seed)))
+	if err := c.Validate(); err != nil {
+		return Stats{}, err
+	}
+	sched, err := faults.Build(c.Faults, c.Workers, c.Duration, c.Seed)
+	if err != nil {
+		return Stats{}, err
+	}
+	s := getSim()
+	if s.ownRand == nil {
+		s.ownRand = rand.New(rand.NewSource(c.Seed))
+	} else {
+		s.ownRand.Seed(c.Seed)
+	}
+	s.reset(c, sched, s.ownRand)
+	for s.step() {
+	}
+	stats := s.finish()
+	putSim(s)
+	return stats, nil
 }
 
 // RunReplicas executes `replicas` independent runs of the configuration,
@@ -352,10 +350,11 @@ func RunReplicas(c Config, replicas, workers int) ([]Stats, error) {
 // RunWithRand executes the simulation drawing all randomness (arrival
 // phases and jitter, analyzer decisions) from the injected RNG. The RNG
 // is owned by this run: callers running simulations in parallel must
-// fork one stream per run (par.ForkRand) rather than share one. Fault
-// schedules are not drawn from this RNG: they fork their own per-node
-// streams from c.Seed (package faults), so enabling a fault process
-// never perturbs arrivals.
+// fork one stream per run (par.ForkRand) rather than share one, and the
+// stream may be advanced past the last draw the run consumed (draws are
+// batched). Fault schedules are not drawn from this RNG: they fork their
+// own per-node streams from c.Seed (package faults), so enabling a fault
+// process never perturbs arrivals.
 func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 	if err := c.Validate(); err != nil {
 		return Stats{}, err
@@ -367,496 +366,11 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	horizon := c.Duration.Seconds()
-
-	framePeriod := 60 / c.Constellation.FramesPerMinute
-	frameBits := c.App.FrameBits() * (1 - c.Constellation.FilterRate)
-	islTime := frameBits / float64(c.ISLRate)
-
-	// Worker batch service time: pixels per batch over the node's pixel
-	// throughput (Table III kpixel/J × node power).
-	nodePixPerSec := c.App.KPixelPerJoule * 1e3 * float64(c.WorkerPower)
-	framePixels := c.App.FrameMPixels * 1e6 * (1 - c.Constellation.FilterRate)
-
-	need := c.NeedWorkers
-	if need == 0 {
-		need = c.Workers
+	s := getSim()
+	s.reset(c, sched, rng)
+	for s.step() {
 	}
-	backoffBase := c.RetryBackoff.Seconds()
-	if backoffBase <= 0 {
-		backoffBase = 2
-	}
-	backoffCap := c.RetryBackoffCap.Seconds()
-	if backoffCap < backoffBase {
-		backoffCap = 60
-	}
-	if backoffCap < backoffBase {
-		backoffCap = backoffBase
-	}
-	// capDoublings is the attempt count at which the exponential backoff
-	// saturates at its cap. Clamping the exponent *before* the doubling
-	// is applied guards the float64 math: under RetryLimit 0 a frame can
-	// accumulate thousands of failed attempts across a long ISL outage,
-	// and an unguarded 2^(tries-1) overflows to +Inf — one zero or NaN
-	// ingredient away from a corrupted event timestamp that would break
-	// the event-queue ordering.
-	capDoublings := int(math.Ceil(math.Log2(backoffCap / backoffBase)))
-	if capDoublings < 0 {
-		capDoublings = 0
-	}
-
-	var (
-		q            eventQueue
-		seq          int
-		islQueue     []frame // frames waiting for the link
-		islSending   bool
-		islDown      bool
-		islGen       int     // invalidates aborted transfers
-		islSendStart float64 // start of the in-flight transfer
-		retryArmed   bool    // head frame is waiting out its backoff
-		islBusySum   float64
-		islDownSum   float64
-		inputQueue   []frame // frames landed, waiting to batch
-		workers      = make([]workerState, c.Workers)
-		effective    = c.Workers // workers neither dead nor hung
-		lastT        float64     // last availability-integral checkpoint
-		upTime       float64     // time with effective ≥ need
-		degradedTime float64     // time with effective < Workers
-		downWS       float64     // worker-seconds dead or hung
-		busySum      float64     // worker-seconds of useful service
-		timeoutArmed bool
-		stats        Stats
-		latencies    []float64
-		now          float64
-	)
-
-	push := func(e event) {
-		seq++
-		e.seq = seq
-		heap.Push(&q, e)
-	}
-
-	// accrue integrates the availability accumulators up to time t.
-	accrue := func(t float64) {
-		if dt := t - lastT; dt > 0 {
-			if effective >= need {
-				upTime += dt
-			}
-			if effective < c.Workers {
-				degradedTime += dt
-			}
-			downWS += dt * float64(c.Workers-effective)
-		}
-		lastT = t
-	}
-
-	recount := func() {
-		effective = 0
-		for i := range workers {
-			if !workers[i].dead && !workers[i].hung {
-				effective++
-			}
-		}
-	}
-
-	// Observability: series are sampled on the simulated-time grid,
-	// counters and histograms accumulate as events fire. evCount stays
-	// a plain local array so the hot loop pays one increment per event
-	// whether or not metrics are enabled.
-	var rec *recorder
-	var evCount [len(eventNames)]int64
-	if c.Obs != nil {
-		rec = newRecorder(c.Obs, c.SampleEvery)
-	}
-
-	// Frame-lineage flight recording. tr stays nil when tracing is off,
-	// so the hot loop pays one nil check per lifecycle point. Frame IDs
-	// are assigned in capture order and outage windows are numbered in
-	// start order — both pure functions of simulated time.
-	tr := c.Trace
-	var (
-		frameID     int64
-		outageIdx   int
-		outageCause string
-	)
-	sampleAt := func(t float64) sampleState {
-		up := upTime
-		if effective >= need && t > lastT {
-			up += t - lastT
-		}
-		avail := 1.0
-		if t > 0 {
-			avail = up / t
-		}
-		return sampleState{
-			t:          t,
-			inputQueue: len(inputQueue),
-			islQueue:   len(islQueue),
-			backlog: stats.FramesGenerated - stats.FramesProcessed -
-				stats.FramesShed - stats.FramesLost,
-			effective:    effective,
-			availability: avail,
-			retried:      stats.FramesRetried,
-			shed:         stats.FramesShed,
-		}
-	}
-
-	// Seed per-satellite frame generation with random phase.
-	for s := 0; s < c.Constellation.Satellites; s++ {
-		push(event{at: rng.Float64() * framePeriod, kind: evFrameReady, who: s})
-	}
-	// Inject the fault schedule.
-	for w, death := range sched.Deaths {
-		if death <= horizon {
-			push(event{at: death, kind: evWorkerDeath, who: w})
-		}
-	}
-	for _, hg := range sched.Hangs {
-		push(event{at: hg.At, kind: evSEFIStart, who: hg.Node, dur: hg.Recovery})
-	}
-	for _, o := range sched.Outages {
-		push(event{at: o.Start, kind: evOutageStart, dur: o.Duration})
-	}
-
-	backoff := func(tries int) float64 {
-		k := tries - 1
-		if k >= capDoublings {
-			return backoffCap
-		}
-		d := math.Ldexp(backoffBase, k)
-		if d > backoffCap {
-			d = backoffCap
-		}
-		return d
-	}
-
-	// failHead records a failed transmission attempt for the head frame:
-	// retry after backoff, or drop it past the retry limit.
-	failHead := func() {
-		f := &islQueue[0]
-		f.tries++
-		if c.RetryLimit > 0 && f.tries > c.RetryLimit {
-			if tr != nil {
-				tr.Record(trace.Event{T: now, Kind: trace.Lost, Frame: f.id,
-					Node: -1, Attempt: f.tries, Cause: outageCause})
-			}
-			islQueue = islQueue[1:]
-			stats.FramesLost++
-			return
-		}
-		stats.FramesRetried++
-		retryArmed = true
-		delay := backoff(f.tries)
-		if rec != nil {
-			rec.backoff.Observe(delay)
-		}
-		if tr != nil {
-			tr.Record(trace.Event{T: now, Kind: trace.Retry, Frame: f.id,
-				Node: -1, Attempt: f.tries, Backoff: delay, Cause: outageCause})
-		}
-		push(event{at: now + delay, kind: evISLRetry})
-	}
-
-	// attemptISL starts the head frame's transfer, or fails it into
-	// backoff when the link is down.
-	attemptISL := func() {
-		for !islSending && !retryArmed && len(islQueue) > 0 {
-			if islDown {
-				failHead() // arms a retry (exits loop) or drops the head
-				continue
-			}
-			islSending = true
-			islGen++
-			islSendStart = now
-			if tr != nil {
-				tr.Record(trace.Event{T: now, Kind: trace.ISLSendStart,
-					Frame: islQueue[0].id, Node: -1})
-			}
-			push(event{at: now + islTime, kind: evISLDone, gen: islGen})
-			return
-		}
-	}
-
-	// addToInput lands a frame in the batching queue, shedding the
-	// lowest-value frame when the queue outgrows the threshold.
-	shedEnabled := c.ShedThreshold != 0
-	shedLimit := c.ShedThreshold
-	if c.ShedThreshold == ShedAll {
-		shedLimit = 0
-	}
-	addToInput := func(f frame) {
-		inputQueue = append(inputQueue, f)
-		if tr != nil {
-			tr.Record(trace.Event{T: now, Kind: trace.Enqueued, Frame: f.id, Node: -1})
-		}
-		if shedEnabled && len(inputQueue) > shedLimit {
-			low := 0
-			for i := 1; i < len(inputQueue); i++ {
-				if inputQueue[i].value < inputQueue[low].value {
-					low = i
-				}
-			}
-			if tr != nil {
-				tr.Record(trace.Event{T: now, Kind: trace.Shed,
-					Frame: inputQueue[low].id, Node: -1})
-			}
-			inputQueue = append(inputQueue[:low], inputQueue[low+1:]...)
-			stats.FramesShed++
-		}
-		if len(inputQueue) > stats.MaxInputQueue {
-			stats.MaxInputQueue = len(inputQueue)
-		}
-	}
-
-	// freeWorker returns the lowest-index dispatchable worker, for
-	// deterministic worker selection.
-	freeWorker := func() int {
-		for i := range workers {
-			if !workers[i].dead && !workers[i].hung && !workers[i].busy {
-				return i
-			}
-		}
-		return -1
-	}
-
-	dispatch := func(force bool) {
-		for len(inputQueue) >= c.BatchSize || (force && len(inputQueue) > 0) {
-			wi := freeWorker()
-			if wi < 0 {
-				break
-			}
-			n := c.BatchSize
-			if n > len(inputQueue) {
-				n = len(inputQueue)
-			}
-			batch := append([]frame(nil), inputQueue[:n]...)
-			inputQueue = append([]frame(nil), inputQueue[n:]...)
-			w := &workers[wi]
-			service := float64(n) * framePixels / nodePixPerSec
-			busySum += service
-			w.busy = true
-			w.batch = batch
-			w.gen++
-			w.doneAt = now + service
-			if tr != nil {
-				for _, f := range batch {
-					tr.Record(trace.Event{T: now, Kind: trace.Dispatched, Frame: f.id, Node: wi})
-				}
-				tr.Record(trace.Event{T: now, Kind: trace.ComputeStart, Node: wi, N: n})
-			}
-			push(event{at: w.doneAt, kind: evBatchDone, who: wi, gen: w.gen})
-		}
-		if len(inputQueue) > 0 && !timeoutArmed {
-			timeoutArmed = true
-			push(event{at: now + c.BatchTimeout.Seconds(), kind: evBatchingOut})
-		}
-	}
-
-	for q.Len() > 0 {
-		e := heap.Pop(&q).(event)
-		if e.at > horizon {
-			break
-		}
-		if rec != nil {
-			rec.catchUp(e.at, sampleAt)
-		}
-		now = e.at
-		accrue(now)
-		evCount[e.kind]++
-		switch e.kind {
-		case evFrameReady:
-			stats.FramesGenerated++
-			frameID++
-			islQueue = append(islQueue, frame{id: frameID, born: now, value: rng.Float64()})
-			if tr != nil {
-				tr.Record(trace.Event{T: now, Kind: trace.FrameCaptured,
-					Frame: frameID, Node: e.who})
-			}
-			attemptISL()
-			// Next frame from this satellite, with 5% timing jitter.
-			jitter := 1 + 0.1*(rng.Float64()-0.5)
-			push(event{at: now + framePeriod*jitter, kind: evFrameReady, who: e.who})
-
-		case evISLDone:
-			if e.gen != islGen || !islSending {
-				break // transfer aborted by an outage
-			}
-			islSending = false
-			islBusySum += now - islSendStart
-			f := islQueue[0]
-			islQueue = islQueue[1:]
-			if tr != nil {
-				tr.Record(trace.Event{T: now, Kind: trace.ISLSendEnd, Frame: f.id, Node: -1})
-			}
-			addToInput(f)
-			attemptISL()
-			dispatch(false)
-
-		case evISLRetry:
-			retryArmed = false
-			attemptISL()
-
-		case evOutageStart:
-			islDown = true
-			outageIdx++
-			outageCause = ""
-			if tr != nil {
-				outageCause = fmt.Sprintf("isl-outage#%d", outageIdx)
-				tr.Record(trace.Event{T: now, Kind: trace.OutageStart,
-					Node: -1, Dur: e.dur, Cause: outageCause})
-			}
-			end := now + e.dur
-			if clip := math.Min(end, horizon); clip > now {
-				islDownSum += clip - now
-			}
-			push(event{at: end, kind: evOutageEnd})
-			if islSending {
-				// Abort the in-flight transfer; the head frame retries.
-				islSending = false
-				islGen++
-				islBusySum += now - islSendStart
-				if tr != nil {
-					tr.Record(trace.Event{T: now, Kind: trace.ISLSendEnd,
-						Frame: islQueue[0].id, Node: -1, Cause: outageCause})
-				}
-				failHead()
-				attemptISL()
-			}
-
-		case evOutageEnd:
-			islDown = false
-			if tr != nil {
-				tr.Record(trace.Event{T: now, Kind: trace.OutageEnd,
-					Node: -1, Cause: outageCause})
-			}
-			attemptISL()
-
-		case evWorkerDeath:
-			w := &workers[e.who]
-			if w.dead {
-				break
-			}
-			w.dead = true
-			if tr != nil {
-				tr.Record(trace.Event{T: now, Kind: trace.NodeDeath, Node: e.who})
-			}
-			if w.busy {
-				// The batch is stranded: return its frames to the head
-				// of the queue for re-dispatch.
-				w.busy = false
-				w.gen++
-				busySum -= w.doneAt - now
-				stats.FramesRedispatched += len(w.batch)
-				if tr != nil {
-					cause := fmt.Sprintf("node-death#%d", e.who)
-					for _, f := range w.batch {
-						tr.Record(trace.Event{T: now, Kind: trace.Enqueued,
-							Frame: f.id, Node: -1, Cause: cause})
-					}
-				}
-				inputQueue = append(append([]frame(nil), w.batch...), inputQueue...)
-				if len(inputQueue) > stats.MaxInputQueue {
-					stats.MaxInputQueue = len(inputQueue)
-				}
-				w.batch = nil
-			}
-			recount()
-			dispatch(false)
-
-		case evSEFIStart:
-			w := &workers[e.who]
-			if w.dead || w.hung {
-				break
-			}
-			w.hung = true
-			if tr != nil {
-				tr.Record(trace.Event{T: now, Kind: trace.SEFIStart, Node: e.who, Dur: e.dur})
-			}
-			if w.busy {
-				// The watchdog reboots the node and the batch resumes:
-				// completion slips by the recovery time.
-				w.gen++
-				w.doneAt += e.dur
-				push(event{at: w.doneAt, kind: evBatchDone, who: e.who, gen: w.gen})
-			}
-			push(event{at: now + e.dur, kind: evSEFIEnd, who: e.who})
-			recount()
-
-		case evSEFIEnd:
-			w := &workers[e.who]
-			if w.dead || !w.hung {
-				break
-			}
-			w.hung = false
-			if tr != nil {
-				tr.Record(trace.Event{T: now, Kind: trace.SEFIEnd, Node: e.who})
-			}
-			recount()
-			dispatch(false)
-
-		case evBatchDone:
-			w := &workers[e.who]
-			if w.dead || !w.busy || e.gen != w.gen {
-				break // stale: the worker died or the batch slipped
-			}
-			w.busy = false
-			stats.FramesProcessed += len(w.batch)
-			if tr != nil {
-				tr.Record(trace.Event{T: now, Kind: trace.ComputeEnd,
-					Node: e.who, N: len(w.batch)})
-			}
-			for _, f := range w.batch {
-				latencies = append(latencies, now-f.born)
-				if rec != nil {
-					rec.latency.Observe(now - f.born)
-				}
-				if tr != nil {
-					tr.Record(trace.Event{T: now, Kind: trace.ComputeEnd,
-						Frame: f.id, Node: e.who})
-				}
-				if f.value >= 1-c.InsightFraction {
-					stats.InsightsDownlinked++
-					if tr != nil {
-						tr.Record(trace.Event{T: now, Kind: trace.Downlinked,
-							Frame: f.id, Node: e.who})
-					}
-				}
-			}
-			w.batch = nil
-			dispatch(false)
-
-		case evBatchingOut:
-			timeoutArmed = false
-			dispatch(true)
-		}
-	}
-	if rec != nil {
-		// Sample the remaining grid points before the final accrual so
-		// the availability integral at each point covers exactly [0, t].
-		rec.finish(horizon, sampleAt)
-	}
-	accrue(horizon)
-
-	stats.Backlog = stats.FramesGenerated - stats.FramesProcessed - stats.FramesShed - stats.FramesLost
-	if len(latencies) > 0 {
-		sort.Float64s(latencies)
-		var sum float64
-		for _, l := range latencies {
-			sum += l
-		}
-		stats.MeanLatency = time.Duration(sum / float64(len(latencies)) * float64(time.Second))
-		stats.P95Latency = time.Duration(latencies[int(float64(len(latencies))*0.95)] * float64(time.Second))
-	}
-	stats.ISLUtilization = units.Clamp(islBusySum/horizon, 0, 1)
-	stats.WorkerUtilization = units.Clamp(busySum/(horizon*float64(c.Workers)), 0, 1)
-	stats.ComputeEnergy = units.Energy(busySum * float64(c.WorkerPower))
-	stats.KeptUp = stats.Backlog <= 2*c.BatchSize*c.Workers
-	stats.WorkerDowntime = time.Duration(downWS * float64(time.Second))
-	stats.ISLDowntime = time.Duration(islDownSum * float64(time.Second))
-	stats.DegradedFraction = units.Clamp(degradedTime/horizon, 0, 1)
-	stats.Availability = units.Clamp(upTime/horizon, 0, 1)
-	if rec != nil {
-		rec.flush(c.Obs, stats, evCount[:])
-	}
+	stats := s.finish()
+	putSim(s)
 	return stats, nil
 }

@@ -1,0 +1,666 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"sudc/internal/faults"
+	"sudc/internal/obs/trace"
+	"sudc/internal/units"
+)
+
+// randBuf batches Float64 draws from the run's RNG stream. Draws are
+// consumed in exactly the order the simulator requests them — buffering
+// only moves the underlying generator calls out of the per-event path —
+// so the value sequence, and therefore every golden, is unchanged. The
+// stream may be advanced past the last consumed draw at the end of a
+// run, which is why RunWithRand's contract gives the RNG to the run.
+type randBuf struct {
+	src  *rand.Rand
+	i, n int
+	buf  [512]float64
+}
+
+func (r *randBuf) reset(src *rand.Rand) {
+	r.src, r.i, r.n = src, 0, 0
+}
+
+func (r *randBuf) Float64() float64 {
+	if r.i >= r.n {
+		for j := range r.buf {
+			r.buf[j] = r.src.Float64()
+		}
+		r.i, r.n = 0, len(r.buf)
+	}
+	v := r.buf[r.i]
+	r.i++
+	return v
+}
+
+// simulator is one run's entire state. The previous implementation kept
+// this state in ~30 locals captured by per-purpose closures inside Run;
+// hoisting it into a struct makes the loop body allocation-free, lets a
+// sync.Pool recycle every backing array across runs (RunReplicas reuses
+// queues, heap, and latency buffers instead of reallocating them per
+// replica), and gives tests a stepping API to pin the zero-allocation
+// steady state with testing.AllocsPerRun.
+type simulator struct {
+	// Derived per-run constants.
+	c            Config
+	horizon      float64
+	framePeriod  float64
+	islTime      float64
+	nodePixSec   float64
+	framePixels  float64
+	need         int
+	backoffBase  float64
+	backoffCap   float64
+	capDoublings int
+	shedEnabled  bool
+	shedLimit    int
+	batchTimeout float64
+
+	rng randBuf
+	// ownRand is the pooled RNG used by Run (reseeded in place per run);
+	// RunWithRand substitutes the caller's stream instead.
+	ownRand *rand.Rand
+
+	q            eventHeap
+	seq          int
+	islQueue     frameDeque
+	inputQueue   frameDeque
+	islSending   bool
+	islDown      bool
+	islGen       int
+	islSendStart float64
+	retryArmed   bool
+	islBusySum   float64
+	islDownSum   float64
+	workers      []workerState
+	freeBatches  [][]frame // batch free-list, recycled on frame completion
+	effective    int
+	lastT        float64
+	upTime       float64
+	degradedTime float64
+	downWS       float64
+	busySum      float64
+	timeoutArmed bool
+	stats        Stats
+	latencies    []float64
+	now          float64
+
+	rec     *recorder
+	evCount [len(eventNames)]int64
+
+	tr          *trace.Recorder
+	frameID     int64
+	outageIdx   int
+	outageCause string
+}
+
+// simPool recycles simulator state — heap, ring buffers, latency and
+// batch arrays — across runs, so RunReplicas and repeated sweeps reach
+// a steady state with no per-run arena growth.
+var simPool = sync.Pool{New: func() any { return new(simulator) }}
+
+func getSim() *simulator { return simPool.Get().(*simulator) }
+func putSim(s *simulator) {
+	// Drop references owned by the caller so the pool never retains a
+	// registry, recorder, or foreign RNG across runs. ownRand stays: the
+	// simulator owns it and reseeds it in place.
+	s.c = Config{}
+	s.rec = nil
+	s.tr = nil
+	s.rng.src = nil
+	simPool.Put(s)
+}
+
+// reset prepares the pooled simulator for one run, reusing every backing
+// array that is already large enough.
+func (s *simulator) reset(c Config, sched faults.Schedule, src *rand.Rand) {
+	s.c = c
+	s.horizon = c.Duration.Seconds()
+	s.framePeriod = 60 / c.Constellation.FramesPerMinute
+	frameBits := c.App.FrameBits() * (1 - c.Constellation.FilterRate)
+	s.islTime = frameBits / float64(c.ISLRate)
+	s.nodePixSec = c.App.KPixelPerJoule * 1e3 * float64(c.WorkerPower)
+	s.framePixels = c.App.FrameMPixels * 1e6 * (1 - c.Constellation.FilterRate)
+
+	s.need = c.NeedWorkers
+	if s.need == 0 {
+		s.need = c.Workers
+	}
+	s.backoffBase = c.RetryBackoff.Seconds()
+	if s.backoffBase <= 0 {
+		s.backoffBase = 2
+	}
+	s.backoffCap = c.RetryBackoffCap.Seconds()
+	if s.backoffCap < s.backoffBase {
+		s.backoffCap = 60
+	}
+	if s.backoffCap < s.backoffBase {
+		s.backoffCap = s.backoffBase
+	}
+	// capDoublings is the attempt count at which the exponential backoff
+	// saturates at its cap. Clamping the exponent *before* the doubling
+	// is applied guards the float64 math: under RetryLimit 0 a frame can
+	// accumulate thousands of failed attempts across a long ISL outage,
+	// and an unguarded 2^(tries-1) overflows to +Inf — one zero or NaN
+	// ingredient away from a corrupted event timestamp that would break
+	// the event-queue ordering.
+	s.capDoublings = int(math.Ceil(math.Log2(s.backoffCap / s.backoffBase)))
+	if s.capDoublings < 0 {
+		s.capDoublings = 0
+	}
+	s.shedEnabled = c.ShedThreshold != 0
+	s.shedLimit = c.ShedThreshold
+	if c.ShedThreshold == ShedAll {
+		s.shedLimit = 0
+	}
+	s.batchTimeout = c.BatchTimeout.Seconds()
+
+	s.rng.reset(src)
+
+	// Recycle batch slices still attached to the previous run's workers
+	// before the worker slice is reused.
+	for i := range s.workers {
+		if b := s.workers[i].batch; b != nil {
+			s.freeBatches = append(s.freeBatches, b[:0])
+			s.workers[i].batch = nil
+		}
+	}
+	if cap(s.workers) >= c.Workers {
+		s.workers = s.workers[:c.Workers]
+		for i := range s.workers {
+			s.workers[i] = workerState{}
+		}
+	} else {
+		s.workers = make([]workerState, c.Workers)
+	}
+
+	s.q.reset()
+	s.q.grow(c.Constellation.Satellites + 4*c.Workers +
+		len(sched.Deaths) + len(sched.Hangs) + len(sched.Outages) + 64)
+	s.seq = 0
+	s.islQueue.reset()
+	s.inputQueue.reset()
+	s.islSending, s.islDown = false, false
+	s.islGen = 0
+	s.islSendStart = 0
+	s.retryArmed = false
+	s.islBusySum, s.islDownSum = 0, 0
+	s.effective = c.Workers
+	s.lastT, s.upTime, s.degradedTime, s.downWS, s.busySum = 0, 0, 0, 0, 0
+	s.timeoutArmed = false
+	s.stats = Stats{}
+	// Pre-size the latency buffer for the worst-case frame count (5%
+	// jitter bound), so steady-state appends never reallocate.
+	maxFrames := int(float64(c.Constellation.Satellites)*s.horizon/(s.framePeriod*0.95)) +
+		c.Constellation.Satellites + 16
+	if cap(s.latencies) < maxFrames {
+		s.latencies = make([]float64, 0, maxFrames)
+	} else {
+		s.latencies = s.latencies[:0]
+	}
+	s.now = 0
+
+	s.rec = nil
+	for i := range s.evCount {
+		s.evCount[i] = 0
+	}
+	if c.Obs != nil {
+		s.rec = newRecorder(c.Obs, c.SampleEvery, s)
+	}
+
+	// Frame-lineage flight recording. tr stays nil when tracing is off,
+	// so the hot loop pays one nil check per lifecycle point. Frame IDs
+	// are assigned in capture order and outage windows are numbered in
+	// start order — both pure functions of simulated time.
+	s.tr = c.Trace
+	s.frameID = 0
+	s.outageIdx = 0
+	s.outageCause = ""
+
+	// Seed per-satellite frame generation with random phase.
+	for sat := 0; sat < c.Constellation.Satellites; sat++ {
+		s.push(event{at: s.rng.Float64() * s.framePeriod, kind: evFrameReady, who: sat})
+	}
+	// Inject the fault schedule.
+	for w, death := range sched.Deaths {
+		if death <= s.horizon {
+			s.push(event{at: death, kind: evWorkerDeath, who: w})
+		}
+	}
+	for _, hg := range sched.Hangs {
+		s.push(event{at: hg.At, kind: evSEFIStart, who: hg.Node, dur: hg.Recovery})
+	}
+	for _, o := range sched.Outages {
+		s.push(event{at: o.Start, kind: evOutageStart, dur: o.Duration})
+	}
+}
+
+func (s *simulator) push(e event) {
+	s.seq++
+	e.seq = s.seq
+	s.q.push(e)
+}
+
+// getBatch takes a frame slice from the free-list (or allocates one
+// during warm-up).
+func (s *simulator) getBatch() []frame {
+	if n := len(s.freeBatches); n > 0 {
+		b := s.freeBatches[n-1]
+		s.freeBatches = s.freeBatches[:n-1]
+		if cap(b) >= s.c.BatchSize {
+			return b[:0]
+		}
+	}
+	return make([]frame, 0, s.c.BatchSize)
+}
+
+// putBatch recycles a finished batch's slice.
+func (s *simulator) putBatch(b []frame) {
+	s.freeBatches = append(s.freeBatches, b[:0])
+}
+
+// accrue integrates the availability accumulators up to time t.
+func (s *simulator) accrue(t float64) {
+	if dt := t - s.lastT; dt > 0 {
+		if s.effective >= s.need {
+			s.upTime += dt
+		}
+		if s.effective < s.c.Workers {
+			s.degradedTime += dt
+		}
+		s.downWS += dt * float64(s.c.Workers-s.effective)
+	}
+	s.lastT = t
+}
+
+func (s *simulator) recount() {
+	s.effective = 0
+	for i := range s.workers {
+		if !s.workers[i].dead && !s.workers[i].hung {
+			s.effective++
+		}
+	}
+}
+
+// sampleState is the simulator state visible to the series sampler at
+// simulated instant t.
+func (s *simulator) sampleState(t float64) sampleState {
+	up := s.upTime
+	if s.effective >= s.need && t > s.lastT {
+		up += t - s.lastT
+	}
+	avail := 1.0
+	if t > 0 {
+		avail = up / t
+	}
+	return sampleState{
+		t:          t,
+		inputQueue: s.inputQueue.len(),
+		islQueue:   s.islQueue.len(),
+		backlog: s.stats.FramesGenerated - s.stats.FramesProcessed -
+			s.stats.FramesShed - s.stats.FramesLost,
+		effective:    s.effective,
+		availability: avail,
+		retried:      s.stats.FramesRetried,
+		shed:         s.stats.FramesShed,
+	}
+}
+
+func (s *simulator) backoff(tries int) float64 {
+	k := tries - 1
+	if k >= s.capDoublings {
+		return s.backoffCap
+	}
+	d := math.Ldexp(s.backoffBase, k)
+	if d > s.backoffCap {
+		d = s.backoffCap
+	}
+	return d
+}
+
+// failHead records a failed transmission attempt for the head frame:
+// retry after backoff, or drop it past the retry limit.
+func (s *simulator) failHead() {
+	f := s.islQueue.front()
+	f.tries++
+	if s.c.RetryLimit > 0 && f.tries > s.c.RetryLimit {
+		if s.tr != nil {
+			s.tr.Record(trace.Event{T: s.now, Kind: trace.Lost, Frame: f.id,
+				Node: -1, Attempt: f.tries, Cause: s.outageCause})
+		}
+		s.islQueue.popFront()
+		s.stats.FramesLost++
+		return
+	}
+	s.stats.FramesRetried++
+	s.retryArmed = true
+	delay := s.backoff(f.tries)
+	if s.rec != nil {
+		s.rec.backoff.Observe(delay)
+	}
+	if s.tr != nil {
+		s.tr.Record(trace.Event{T: s.now, Kind: trace.Retry, Frame: f.id,
+			Node: -1, Attempt: f.tries, Backoff: delay, Cause: s.outageCause})
+	}
+	s.push(event{at: s.now + delay, kind: evISLRetry})
+}
+
+// attemptISL starts the head frame's transfer, or fails it into backoff
+// when the link is down.
+func (s *simulator) attemptISL() {
+	for !s.islSending && !s.retryArmed && s.islQueue.len() > 0 {
+		if s.islDown {
+			s.failHead() // arms a retry (exits loop) or drops the head
+			continue
+		}
+		s.islSending = true
+		s.islGen++
+		s.islSendStart = s.now
+		if s.tr != nil {
+			s.tr.Record(trace.Event{T: s.now, Kind: trace.ISLSendStart,
+				Frame: s.islQueue.front().id, Node: -1})
+		}
+		s.push(event{at: s.now + s.islTime, kind: evISLDone, gen: s.islGen})
+		return
+	}
+}
+
+// addToInput lands a frame in the batching queue, shedding the
+// lowest-value frame when the queue outgrows the threshold.
+func (s *simulator) addToInput(f frame) {
+	s.inputQueue.pushBack(f)
+	if s.tr != nil {
+		s.tr.Record(trace.Event{T: s.now, Kind: trace.Enqueued, Frame: f.id, Node: -1})
+	}
+	if s.shedEnabled && s.inputQueue.len() > s.shedLimit {
+		low := 0
+		for i := 1; i < s.inputQueue.len(); i++ {
+			if s.inputQueue.at(i).value < s.inputQueue.at(low).value {
+				low = i
+			}
+		}
+		if s.tr != nil {
+			s.tr.Record(trace.Event{T: s.now, Kind: trace.Shed,
+				Frame: s.inputQueue.at(low).id, Node: -1})
+		}
+		s.inputQueue.removeAt(low)
+		s.stats.FramesShed++
+	}
+	if s.inputQueue.len() > s.stats.MaxInputQueue {
+		s.stats.MaxInputQueue = s.inputQueue.len()
+	}
+}
+
+// freeWorker returns the lowest-index dispatchable worker, for
+// deterministic worker selection.
+func (s *simulator) freeWorker() int {
+	for i := range s.workers {
+		if !s.workers[i].dead && !s.workers[i].hung && !s.workers[i].busy {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *simulator) dispatch(force bool) {
+	for s.inputQueue.len() >= s.c.BatchSize || (force && s.inputQueue.len() > 0) {
+		wi := s.freeWorker()
+		if wi < 0 {
+			break
+		}
+		n := s.c.BatchSize
+		if n > s.inputQueue.len() {
+			n = s.inputQueue.len()
+		}
+		batch := s.getBatch()
+		for i := 0; i < n; i++ {
+			batch = append(batch, s.inputQueue.popFront())
+		}
+		w := &s.workers[wi]
+		service := float64(n) * s.framePixels / s.nodePixSec
+		s.busySum += service
+		w.busy = true
+		w.batch = batch
+		w.gen++
+		w.doneAt = s.now + service
+		if s.tr != nil {
+			for _, f := range batch {
+				s.tr.Record(trace.Event{T: s.now, Kind: trace.Dispatched, Frame: f.id, Node: wi})
+			}
+			s.tr.Record(trace.Event{T: s.now, Kind: trace.ComputeStart, Node: wi, N: n})
+		}
+		s.push(event{at: w.doneAt, kind: evBatchDone, who: wi, gen: w.gen})
+	}
+	if s.inputQueue.len() > 0 && !s.timeoutArmed {
+		s.timeoutArmed = true
+		s.push(event{at: s.now + s.batchTimeout, kind: evBatchingOut})
+	}
+}
+
+// step pops and applies one event. It returns false once the queue is
+// empty or the next event lies past the horizon — the run is over.
+func (s *simulator) step() bool {
+	if s.q.len() == 0 || s.q.a[0].at > s.horizon {
+		return false
+	}
+	e := s.q.pop()
+	if s.rec != nil {
+		s.rec.catchUp(e.at)
+	}
+	s.now = e.at
+	s.accrue(e.at)
+	s.evCount[e.kind]++
+	switch e.kind {
+	case evFrameReady:
+		s.stats.FramesGenerated++
+		s.frameID++
+		s.islQueue.pushBack(frame{id: s.frameID, born: s.now, value: s.rng.Float64()})
+		if s.tr != nil {
+			s.tr.Record(trace.Event{T: s.now, Kind: trace.FrameCaptured,
+				Frame: s.frameID, Node: e.who})
+		}
+		s.attemptISL()
+		// Next frame from this satellite, with 5% timing jitter.
+		jitter := 1 + 0.1*(s.rng.Float64()-0.5)
+		s.push(event{at: s.now + s.framePeriod*jitter, kind: evFrameReady, who: e.who})
+
+	case evISLDone:
+		if e.gen != s.islGen || !s.islSending {
+			break // transfer aborted by an outage
+		}
+		s.islSending = false
+		s.islBusySum += s.now - s.islSendStart
+		f := s.islQueue.popFront()
+		if s.tr != nil {
+			s.tr.Record(trace.Event{T: s.now, Kind: trace.ISLSendEnd, Frame: f.id, Node: -1})
+		}
+		s.addToInput(f)
+		s.attemptISL()
+		s.dispatch(false)
+
+	case evISLRetry:
+		s.retryArmed = false
+		s.attemptISL()
+
+	case evOutageStart:
+		s.islDown = true
+		s.outageIdx++
+		s.outageCause = ""
+		if s.tr != nil {
+			s.outageCause = fmt.Sprintf("isl-outage#%d", s.outageIdx)
+			s.tr.Record(trace.Event{T: s.now, Kind: trace.OutageStart,
+				Node: -1, Dur: e.dur, Cause: s.outageCause})
+		}
+		end := s.now + e.dur
+		if clip := math.Min(end, s.horizon); clip > s.now {
+			s.islDownSum += clip - s.now
+		}
+		s.push(event{at: end, kind: evOutageEnd})
+		if s.islSending {
+			// Abort the in-flight transfer; the head frame retries.
+			s.islSending = false
+			s.islGen++
+			s.islBusySum += s.now - s.islSendStart
+			if s.tr != nil {
+				s.tr.Record(trace.Event{T: s.now, Kind: trace.ISLSendEnd,
+					Frame: s.islQueue.front().id, Node: -1, Cause: s.outageCause})
+			}
+			s.failHead()
+			s.attemptISL()
+		}
+
+	case evOutageEnd:
+		s.islDown = false
+		if s.tr != nil {
+			s.tr.Record(trace.Event{T: s.now, Kind: trace.OutageEnd,
+				Node: -1, Cause: s.outageCause})
+		}
+		s.attemptISL()
+
+	case evWorkerDeath:
+		w := &s.workers[e.who]
+		if w.dead {
+			break
+		}
+		w.dead = true
+		if s.tr != nil {
+			s.tr.Record(trace.Event{T: s.now, Kind: trace.NodeDeath, Node: e.who})
+		}
+		if w.busy {
+			// The batch is stranded: return its frames to the head of the
+			// queue for re-dispatch.
+			w.busy = false
+			w.gen++
+			s.busySum -= w.doneAt - s.now
+			s.stats.FramesRedispatched += len(w.batch)
+			if s.tr != nil {
+				cause := fmt.Sprintf("node-death#%d", e.who)
+				for _, f := range w.batch {
+					s.tr.Record(trace.Event{T: s.now, Kind: trace.Enqueued,
+						Frame: f.id, Node: -1, Cause: cause})
+				}
+			}
+			for i := len(w.batch) - 1; i >= 0; i-- {
+				s.inputQueue.pushFront(w.batch[i])
+			}
+			if s.inputQueue.len() > s.stats.MaxInputQueue {
+				s.stats.MaxInputQueue = s.inputQueue.len()
+			}
+			s.putBatch(w.batch)
+			w.batch = nil
+		}
+		s.recount()
+		s.dispatch(false)
+
+	case evSEFIStart:
+		w := &s.workers[e.who]
+		if w.dead || w.hung {
+			break
+		}
+		w.hung = true
+		if s.tr != nil {
+			s.tr.Record(trace.Event{T: s.now, Kind: trace.SEFIStart, Node: e.who, Dur: e.dur})
+		}
+		if w.busy {
+			// The watchdog reboots the node and the batch resumes:
+			// completion slips by the recovery time.
+			w.gen++
+			w.doneAt += e.dur
+			s.push(event{at: w.doneAt, kind: evBatchDone, who: e.who, gen: w.gen})
+		}
+		s.push(event{at: s.now + e.dur, kind: evSEFIEnd, who: e.who})
+		s.recount()
+
+	case evSEFIEnd:
+		w := &s.workers[e.who]
+		if w.dead || !w.hung {
+			break
+		}
+		w.hung = false
+		if s.tr != nil {
+			s.tr.Record(trace.Event{T: s.now, Kind: trace.SEFIEnd, Node: e.who})
+		}
+		s.recount()
+		s.dispatch(false)
+
+	case evBatchDone:
+		w := &s.workers[e.who]
+		if w.dead || !w.busy || e.gen != w.gen {
+			break // stale: the worker died or the batch slipped
+		}
+		w.busy = false
+		s.stats.FramesProcessed += len(w.batch)
+		if s.tr != nil {
+			s.tr.Record(trace.Event{T: s.now, Kind: trace.ComputeEnd,
+				Node: e.who, N: len(w.batch)})
+		}
+		for _, f := range w.batch {
+			s.latencies = append(s.latencies, s.now-f.born)
+			if s.rec != nil {
+				s.rec.latency.Observe(s.now - f.born)
+			}
+			if s.tr != nil {
+				s.tr.Record(trace.Event{T: s.now, Kind: trace.ComputeEnd,
+					Frame: f.id, Node: e.who})
+			}
+			if f.value >= 1-s.c.InsightFraction {
+				s.stats.InsightsDownlinked++
+				if s.tr != nil {
+					s.tr.Record(trace.Event{T: s.now, Kind: trace.Downlinked,
+						Frame: f.id, Node: e.who})
+				}
+			}
+		}
+		s.putBatch(w.batch)
+		w.batch = nil
+		s.dispatch(false)
+
+	case evBatchingOut:
+		s.timeoutArmed = false
+		s.dispatch(true)
+	}
+	return true
+}
+
+// finish drains the sampling grid, closes the availability integral, and
+// assembles the run's Stats.
+func (s *simulator) finish() Stats {
+	if s.rec != nil {
+		// Sample the remaining grid points before the final accrual so
+		// the availability integral at each point covers exactly [0, t].
+		s.rec.finish(s.horizon)
+	}
+	s.accrue(s.horizon)
+
+	stats := s.stats
+	stats.Backlog = stats.FramesGenerated - stats.FramesProcessed - stats.FramesShed - stats.FramesLost
+	if len(s.latencies) > 0 {
+		sort.Float64s(s.latencies)
+		var sum float64
+		for _, l := range s.latencies {
+			sum += l
+		}
+		stats.MeanLatency = time.Duration(sum / float64(len(s.latencies)) * float64(time.Second))
+		stats.P95Latency = time.Duration(s.latencies[int(float64(len(s.latencies))*0.95)] * float64(time.Second))
+	}
+	stats.ISLUtilization = units.Clamp(s.islBusySum/s.horizon, 0, 1)
+	stats.WorkerUtilization = units.Clamp(s.busySum/(s.horizon*float64(s.c.Workers)), 0, 1)
+	stats.ComputeEnergy = units.Energy(s.busySum * float64(s.c.WorkerPower))
+	stats.KeptUp = stats.Backlog <= 2*s.c.BatchSize*s.c.Workers
+	stats.WorkerDowntime = time.Duration(s.downWS * float64(time.Second))
+	stats.ISLDowntime = time.Duration(s.islDownSum * float64(time.Second))
+	stats.DegradedFraction = units.Clamp(s.degradedTime/s.horizon, 0, 1)
+	stats.Availability = units.Clamp(s.upTime/s.horizon, 0, 1)
+	if s.rec != nil {
+		s.rec.flush(s.c.Obs, stats, s.evCount[:])
+	}
+	return stats
+}

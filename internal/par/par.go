@@ -37,17 +37,32 @@ type options struct {
 	chunk   int
 }
 
-// Option customizes Map, MapErr, ForN, or ForNErr.
-type Option func(*options)
+// Option customizes Map, MapErr, ForN, or ForNErr. It is a plain value
+// (not a closure) so resolving options never forces the configuration
+// to escape to the heap — the engine's dispatch path stays
+// allocation-free for serial runs and pool-bounded for parallel ones.
+type Option struct {
+	workers int
+	chunk   int
+}
+
+// apply merges one option into the resolved configuration.
+func (opt Option) apply(o *options) {
+	if opt.workers > 0 {
+		o.workers = opt.workers
+	}
+	if opt.chunk > 0 {
+		o.chunk = opt.chunk
+	}
+}
 
 // Workers bounds the number of concurrent workers. Values ≤ 0 keep the
 // default (DefaultWorkers).
 func Workers(n int) Option {
-	return func(o *options) {
-		if n > 0 {
-			o.workers = n
-		}
+	if n < 0 {
+		n = 0
 	}
+	return Option{workers: n}
 }
 
 // Chunk sets how many consecutive items a worker claims at a time.
@@ -55,11 +70,10 @@ func Workers(n int) Option {
 // cheap items (large chunks amortize scheduling) and expensive ones
 // (enough chunks to balance load).
 func Chunk(n int) Option {
-	return func(o *options) {
-		if n > 0 {
-			o.chunk = n
-		}
+	if n < 0 {
+		n = 0
 	}
+	return Option{chunk: n}
 }
 
 // defaultWorkers, when > 0, overrides GOMAXPROCS as the process-wide
@@ -121,6 +135,72 @@ func currentObserver() Observer {
 	return nil
 }
 
+// runState is one parallel run's dispatch descriptor: the shared claim
+// cursor, failure tracking, and chunk geometry the workers consult. It
+// used to live in locals captured by a per-call worker closure — one
+// closure plus a heap cell per captured variable, every Map/ForN call.
+// Hoisting it into a pooled struct makes the engine's per-call dispatch
+// cost a pool hit: hot paths that issue thousands of small parallel
+// runs (DES replica sweeps, DSE shards) stop paying per-call garbage.
+type runState struct {
+	next     atomic.Int64 // next unclaimed item index
+	failIdx  atomic.Int64 // lowest failing index seen (n = none)
+	mu       sync.Mutex
+	firstErr error
+	firstIdx int64
+	wg       sync.WaitGroup
+	n        int64
+	chunk    int64
+	fn       func(i int) error
+	obs      Observer
+}
+
+// statePool recycles runState descriptors across ForNErr calls.
+var statePool = sync.Pool{New: func() any { return new(runState) }}
+
+func (st *runState) worker() {
+	defer st.wg.Done()
+	n, chunk := st.n, st.chunk
+	for {
+		start := st.next.Add(chunk) - chunk
+		if start >= n || start >= st.failIdx.Load() {
+			return
+		}
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		for i := start; i < end; i++ {
+			if i >= st.failIdx.Load() {
+				if st.obs != nil && i > start {
+					st.obs.ItemsDone(int(i - start))
+				}
+				return
+			}
+			if err := st.fn(int(i)); err != nil {
+				st.mu.Lock()
+				if i < st.firstIdx {
+					st.firstIdx, st.firstErr = i, err
+				}
+				st.mu.Unlock()
+				for {
+					cur := st.failIdx.Load()
+					if i >= cur || st.failIdx.CompareAndSwap(cur, i) {
+						break
+					}
+				}
+				if st.obs != nil && i > start {
+					st.obs.ItemsDone(int(i - start))
+				}
+				return
+			}
+		}
+		if st.obs != nil {
+			st.obs.ItemsDone(int(end - start))
+		}
+	}
+}
+
 // ForNErr calls fn(0..n-1) across a bounded worker pool and waits for
 // completion. After the first failure, no new chunks are claimed; the
 // error returned is the one with the lowest index among those observed.
@@ -130,7 +210,7 @@ func ForNErr(n int, fn func(i int) error, opts ...Option) error {
 	}
 	var o options
 	for _, opt := range opts {
-		opt(&o)
+		opt.apply(&o)
 	}
 	workers := o.workers
 	if workers <= 0 {
@@ -166,63 +246,24 @@ func ForNErr(n int, fn func(i int) error, opts ...Option) error {
 		return nil
 	}
 
-	var (
-		next     atomic.Int64 // next unclaimed item index
-		failIdx  atomic.Int64 // lowest failing index seen (n = none)
-		mu       sync.Mutex
-		firstErr error
-		firstIdx = int64(n)
-		wg       sync.WaitGroup
-	)
-	failIdx.Store(int64(n))
-
-	worker := func() {
-		defer wg.Done()
-		for {
-			start := next.Add(int64(chunk)) - int64(chunk)
-			if start >= int64(n) || start >= failIdx.Load() {
-				return
-			}
-			end := start + int64(chunk)
-			if end > int64(n) {
-				end = int64(n)
-			}
-			for i := start; i < end; i++ {
-				if i >= failIdx.Load() {
-					if obs != nil && i > start {
-						obs.ItemsDone(int(i - start))
-					}
-					return
-				}
-				if err := fn(int(i)); err != nil {
-					mu.Lock()
-					if i < firstIdx {
-						firstIdx, firstErr = i, err
-					}
-					mu.Unlock()
-					for {
-						cur := failIdx.Load()
-						if i >= cur || failIdx.CompareAndSwap(cur, i) {
-							break
-						}
-					}
-					if obs != nil && i > start {
-						obs.ItemsDone(int(i - start))
-					}
-					return
-				}
-			}
-			if obs != nil {
-				obs.ItemsDone(int(end - start))
-			}
-		}
-	}
-	wg.Add(workers)
+	st := statePool.Get().(*runState)
+	st.next.Store(0)
+	st.failIdx.Store(int64(n))
+	st.firstErr = nil
+	st.firstIdx = int64(n)
+	st.n, st.chunk = int64(n), int64(chunk)
+	st.fn, st.obs = fn, obs
+	st.wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go worker()
+		go st.worker()
 	}
-	wg.Wait()
-	return firstErr
+	st.wg.Wait()
+	err := st.firstErr
+	// Drop the caller's references before pooling so the descriptor
+	// never retains a closure (and whatever it captured) across runs.
+	st.fn, st.obs, st.firstErr = nil, nil, nil
+	statePool.Put(st)
+	return err
 }
 
 // ForN calls fn(0..n-1) across a bounded worker pool and waits for
