@@ -22,6 +22,7 @@ import (
 	"sudc/internal/obs/trace"
 	"sudc/internal/par/partest"
 	"sudc/internal/reliability"
+	"sudc/internal/topo"
 	"sudc/internal/workload"
 )
 
@@ -238,6 +239,32 @@ func BenchmarkNetsimTraced(b *testing.B) {
 		if _, err := netsim.Run(c); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkNetsimSharded measures a 1024-satellite Walker constellation
+// (16 planes × 64 satellites, an SµDC every other plane, 200 ms
+// inter-plane ISL) through the sharded conservative-lookahead runner at
+// shard counts 1, 2, and 8. Results are byte-identical across shard
+// counts; only wall time may differ, and only on multi-core machines.
+// BENCH_shard.json gates the deterministic shards=1 cost and records
+// the scaling medians.
+func BenchmarkNetsimSharded(b *testing.B) {
+	g, err := topo.Walker(16, 64, 33, 2, 200*time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := netsim.TopologyConfig(workload.Suite[0], g)
+			c.Duration = time.Hour
+			c.Shards = shards
+			for i := 0; i < b.N; i++ {
+				if _, err := netsim.Run(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

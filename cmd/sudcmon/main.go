@@ -20,6 +20,11 @@
 //	-filter f        edge filtering rate 0..1 (default 0)
 //	-hours h         simulated duration (default 2)
 //	-seed n          RNG seed (default 1)
+//	-planes n        orbital planes; > 0 runs the explicit Walker topology
+//	-sats-per-plane n  capture satellites per plane (with -planes)
+//	-sudc-every k    SµDC in every k-th plane; the rest relay (with -planes)
+//	-isl-delay ms    inter-plane ISL propagation delay (default 200)
+//	-shards n        parallel cell shards, 0 = one per CPU
 //	-mttf h          mean time to permanent worker death in hours (0 = off)
 //	-sefi m          mean time between transient SEFI hangs in minutes (0 = off)
 //	-sefi-rec s      mean SEFI watchdog recovery in seconds (default 30)
@@ -52,6 +57,7 @@ import (
 	"sudc/internal/netsim"
 	"sudc/internal/obs/latency"
 	"sudc/internal/obs/trace"
+	"sudc/internal/topo"
 	"sudc/internal/units"
 	"sudc/internal/workload"
 )
@@ -74,6 +80,11 @@ func run(args []string, out io.Writer) error {
 	filter := fs.Float64("filter", 0, "edge filtering rate [0,1)")
 	hours := fs.Float64("hours", 2, "simulated duration in hours")
 	seed := fs.Int64("seed", 1, "RNG seed")
+	planes := fs.Int("planes", 0, "orbital planes; > 0 runs the explicit Walker topology")
+	satsPerPlane := fs.Int("sats-per-plane", 16, "capture satellites per plane (with -planes)")
+	sudcEvery := fs.Int("sudc-every", 1, "SµDC placed every k-th plane; the rest relay (with -planes)")
+	islDelayMs := fs.Float64("isl-delay", 200, "inter-plane ISL propagation delay in ms (with -planes)")
+	shards := fs.Int("shards", 0, "parallel cell shards for topology runs (0 = one per CPU)")
 	mttfH := fs.Float64("mttf", 0, "mean time to permanent worker death in hours (0 = off)")
 	sefiM := fs.Float64("sefi", 0, "mean time between SEFI hangs in minutes (0 = off)")
 	sefiRecS := fs.Float64("sefi-rec", 30, "mean SEFI recovery in seconds")
@@ -116,22 +127,35 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		cfg := netsim.DefaultConfig(app)
-		cfg.Constellation.Satellites = *satellites
-		cfg.Constellation.FilterRate = *filter
-		cfg.Workers = int(*powerKW * 1000 / float64(app.GPUPower))
-		if cfg.Workers < 1 {
-			cfg.Workers = 1
+		if *spares < 0 {
+			return fmt.Errorf("negative spares %d", *spares)
+		}
+		sized := int(*powerKW * 1000 / float64(app.GPUPower))
+		if sized < 1 {
+			sized = 1
+		}
+		var cfg netsim.Config
+		if *planes > 0 {
+			g, err := topo.Walker(*planes, *satsPerPlane, sized+*spares, *sudcEvery,
+				time.Duration(*islDelayMs*float64(time.Millisecond)))
+			if err != nil {
+				return err
+			}
+			cfg = netsim.TopologyConfig(app, g)
+			cfg.Constellation.FilterRate = *filter
+			cfg.Shards = *shards
+		} else {
+			cfg = netsim.DefaultConfig(app)
+			cfg.Constellation.Satellites = *satellites
+			cfg.Constellation.FilterRate = *filter
+			cfg.Workers = sized
+			cfg.NeedWorkers = cfg.Workers
+			cfg.Workers += *spares
 		}
 		cfg.ISLRate = units.GbpsOf(*islGbps)
 		cfg.BatchSize = *batch
 		cfg.Duration = time.Duration(*hours * float64(time.Hour))
 		cfg.Seed = *seed
-		if *spares < 0 {
-			return fmt.Errorf("negative spares %d", *spares)
-		}
-		cfg.NeedWorkers = cfg.Workers
-		cfg.Workers += *spares
 		cfg.Faults = faults.Scenario{
 			NodeMTTF:      time.Duration(*mttfH * float64(time.Hour)),
 			SEFIMTBE:      time.Duration(*sefiM * float64(time.Minute)),
@@ -152,12 +176,23 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		horizon = cfg.Duration.Seconds()
-		workers, need = cfg.Workers, cfg.NeedWorkers
+		if *planes > 0 {
+			// Per-cell scopes each hold the full SµDC complement, so the
+			// trace cross-check runs against the per-cell worker count.
+			workers, need = sized+*spares, sized+*spares
+		} else {
+			workers, need = cfg.Workers, cfg.NeedWorkers
+		}
 		if cfg.Faults.Enabled() {
 			desAvty = s.Availability
 		}
-		fmt.Fprintf(out, "%s: %d satellites, %d workers, %v over %v (seed %d) — %d events recorded\n",
-			app.Name, *satellites, cfg.Workers, cfg.ISLRate, cfg.Duration, *seed, rec.TotalLen())
+		if *planes > 0 {
+			fmt.Fprintf(out, "%s: %d planes × %d satellites, SµDC every %d planes (%d workers each), %v over %v (seed %d) — %d cross-shard frames, %d events recorded\n",
+				app.Name, *planes, *satsPerPlane, *sudcEvery, sized+*spares, cfg.ISLRate, cfg.Duration, *seed, s.CrossShardFrames, rec.TotalLen())
+		} else {
+			fmt.Fprintf(out, "%s: %d satellites, %d workers, %v over %v (seed %d) — %d events recorded\n",
+				app.Name, *satellites, cfg.Workers, cfg.ISLRate, cfg.Duration, *seed, rec.TotalLen())
+		}
 	}
 
 	analyze(out, rec, horizon, *topK, workers, need, desAvty)

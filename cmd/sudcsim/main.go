@@ -15,6 +15,18 @@
 //	-hours h         simulated duration (default 2)
 //	-seed n          RNG seed (default 1)
 //
+// Explicit constellation topology (replaces the implicit single-SµDC
+// star with a Walker-style multi-plane graph, simulated in parallel
+// cell shards with conservative cross-cell synchronization):
+//
+//	-planes n        orbital planes; > 0 switches to topology mode
+//	-sats-per-plane n  capture satellites per plane (default 16)
+//	-sudc-every k    SµDC in every k-th plane; the rest relay around the
+//	                 inter-plane ring (default 1)
+//	-isl-delay ms    inter-plane ISL propagation delay (default 200)
+//	-shards n        parallel cell shards, 0 = one per CPU; any value
+//	                 yields byte-identical results
+//
 // Fault injection and degraded-mode operation:
 //
 //	-mttf h          mean time to permanent worker death in hours (0 = off)
@@ -49,6 +61,7 @@ import (
 	"sudc/internal/netsim"
 	"sudc/internal/obs"
 	"sudc/internal/obs/trace"
+	"sudc/internal/topo"
 	"sudc/internal/units"
 	"sudc/internal/workload"
 )
@@ -71,6 +84,11 @@ func run(args []string, out io.Writer) error {
 	filter := fs.Float64("filter", 0, "edge filtering rate [0,1)")
 	hours := fs.Float64("hours", 2, "simulated duration in hours")
 	seed := fs.Int64("seed", 1, "RNG seed")
+	planes := fs.Int("planes", 0, "orbital planes; > 0 replaces the implicit star with a Walker topology")
+	satsPerPlane := fs.Int("sats-per-plane", 16, "capture satellites per plane (with -planes)")
+	sudcEvery := fs.Int("sudc-every", 1, "SµDC placed every k-th plane; the rest relay (with -planes)")
+	islDelayMs := fs.Float64("isl-delay", 200, "inter-plane ISL propagation delay in ms (with -planes)")
+	shards := fs.Int("shards", 0, "parallel cell shards for topology runs (0 = one per CPU)")
 	mttfH := fs.Float64("mttf", 0, "mean time to permanent worker death in hours (0 = off)")
 	sefiM := fs.Float64("sefi", 0, "mean time between SEFI hangs in minutes (0 = off)")
 	sefiRecS := fs.Float64("sefi-rec", 30, "mean SEFI recovery in seconds")
@@ -111,22 +129,38 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cfg := netsim.DefaultConfig(app)
-	cfg.Constellation.Satellites = *satellites
-	cfg.Constellation.FilterRate = *filter
-	cfg.Workers = int(*powerKW * 1000 / float64(app.GPUPower))
-	if cfg.Workers < 1 {
-		cfg.Workers = 1
+	if *spares < 0 {
+		return fmt.Errorf("negative spares %d", *spares)
+	}
+	workers := int(*powerKW * 1000 / float64(app.GPUPower))
+	if workers < 1 {
+		workers = 1
+	}
+	var cfg netsim.Config
+	if *planes > 0 {
+		// Topology mode: each SµDC plane gets the sized worker count
+		// plus the spares; availability is defined by the full per-cell
+		// complement.
+		g, err := topo.Walker(*planes, *satsPerPlane, workers+*spares, *sudcEvery,
+			time.Duration(*islDelayMs*float64(time.Millisecond)))
+		if err != nil {
+			return err
+		}
+		cfg = netsim.TopologyConfig(app, g)
+		cfg.Constellation.FilterRate = *filter
+		cfg.Shards = *shards
+	} else {
+		cfg = netsim.DefaultConfig(app)
+		cfg.Constellation.Satellites = *satellites
+		cfg.Constellation.FilterRate = *filter
+		cfg.Workers = workers
+		cfg.NeedWorkers = cfg.Workers
+		cfg.Workers += *spares
 	}
 	cfg.ISLRate = units.GbpsOf(*islGbps)
 	cfg.BatchSize = *batch
 	cfg.Duration = time.Duration(*hours * float64(time.Hour))
 	cfg.Seed = *seed
-	if *spares < 0 {
-		return fmt.Errorf("negative spares %d", *spares)
-	}
-	cfg.NeedWorkers = cfg.Workers
-	cfg.Workers += *spares
 	cfg.Faults = faults.Scenario{
 		NodeMTTF:      time.Duration(*mttfH * float64(time.Hour)),
 		SEFIMTBE:      time.Duration(*sefiM * float64(time.Minute)),
@@ -151,8 +185,13 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(out, "%s: %d satellites → %.1f kW SµDC (%d × %v workers), %v ISL, batch %d\n\n",
-		app.Name, *satellites, *powerKW, cfg.Workers, app.GPUPower, cfg.ISLRate, *batch)
+	if *planes > 0 {
+		fmt.Fprintf(out, "%s: %d planes × %d satellites → SµDC every %d planes (%d × %v workers each), %v ISL, batch %d\n\n",
+			app.Name, *planes, *satsPerPlane, *sudcEvery, workers+*spares, app.GPUPower, cfg.ISLRate, *batch)
+	} else {
+		fmt.Fprintf(out, "%s: %d satellites → %.1f kW SµDC (%d × %v workers), %v ISL, batch %d\n\n",
+			app.Name, *satellites, *powerKW, cfg.Workers, app.GPUPower, cfg.ISLRate, *batch)
+	}
 	fmt.Fprintf(out, "  frames generated     %d\n", s.FramesGenerated)
 	fmt.Fprintf(out, "  frames processed     %d\n", s.FramesProcessed)
 	fmt.Fprintf(out, "  insights downlinked  %d\n", s.InsightsDownlinked)
@@ -162,8 +201,15 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  ISL utilization      %.1f%%\n", 100*s.ISLUtilization)
 	fmt.Fprintf(out, "  worker utilization   %.1f%%\n", 100*s.WorkerUtilization)
 	fmt.Fprintf(out, "  compute energy       %.1f kWh\n", s.ComputeEnergy.WattHours()/1e3)
+	if *planes > 0 {
+		fmt.Fprintf(out, "  cross-shard frames   %d\n", s.CrossShardFrames)
+	}
 	if cfg.Faults.Enabled() || *spares > 0 {
-		fmt.Fprintf(out, "\n  fault injection (%d needed + %d spare workers)\n", cfg.NeedWorkers, *spares)
+		if *planes > 0 {
+			fmt.Fprintf(out, "\n  fault injection (%d workers per SµDC)\n", workers+*spares)
+		} else {
+			fmt.Fprintf(out, "\n  fault injection (%d needed + %d spare workers)\n", cfg.NeedWorkers, *spares)
+		}
 		fmt.Fprintf(out, "  availability         %.2f%%\n", 100*s.Availability)
 		fmt.Fprintf(out, "  degraded time        %.1f%%\n", 100*s.DegradedFraction)
 		fmt.Fprintf(out, "  worker downtime      %v\n", s.WorkerDowntime.Truncate(time.Second))

@@ -20,6 +20,7 @@ import (
 	"sudc/internal/obs/trace"
 	"sudc/internal/par"
 	"sudc/internal/par/partest"
+	"sudc/internal/topo"
 	"sudc/internal/workload"
 )
 
@@ -247,5 +248,94 @@ func TestExperimentObsInvariantUnderWorkerCount(t *testing.T) {
 		if got := snap(w); got != ref {
 			t.Errorf("workers=%d: experiment metric snapshot differs from workers=1", w)
 		}
+	}
+}
+
+// shardExports runs one sharded topology configuration and returns its
+// stats plus every observable byte stream: the merged obs snapshot,
+// the JSONL trace export, and the Chrome trace export.
+func shardExports(t *testing.T, c netsim.Config, shards int) (netsim.Stats, string, string, string) {
+	t.Helper()
+	reg := obs.New()
+	rec := trace.New(0)
+	cc := c
+	cc.Obs = reg.Scope("netsim")
+	cc.Trace = rec
+	cc.Shards = shards
+	s, err := netsim.Run(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonl, chrome bytes.Buffer
+	if err := rec.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteChrome(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	return s, reg.Snapshot().String(), jsonl.String(), chrome.String()
+}
+
+func TestShardedTopologyInvariantUnderShardCount(t *testing.T) {
+	// The sharded conservative-lookahead runner extends the determinism
+	// contract to topology cells: the shard count only schedules which
+	// goroutine advances a cell, so stats, the merged metric snapshot,
+	// and both trace exports must be byte-identical for shards 1, 2,
+	// and 8 — fault-free and with every fault process active.
+	g, err := topo.Walker(4, 8, 5, 2, 250*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := netsim.TopologyConfig(workload.Suite[0], g)
+	base.BatchSize = 4
+	base.BatchTimeout = 30 * time.Second
+	base.Duration = 30 * time.Minute
+	base.Seed = 9
+
+	faulted := base
+	faulted.Faults = faults.Scenario{
+		NodeMTTF:          2 * time.Hour,
+		SEFIMTBE:          20 * time.Minute,
+		SEFIRecovery:      30 * time.Second,
+		ISLOutageMTBF:     30 * time.Minute,
+		ISLOutageDuration: time.Minute,
+	}
+	faulted.RetryLimit = 3
+	faulted.ShedThreshold = 40
+
+	for _, tc := range []struct {
+		name string
+		cfg  netsim.Config
+	}{
+		{"fault-free", base},
+		{"faulted", faulted},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			refStats, refSnap, refJSONL, refChrome := shardExports(t, tc.cfg, 1)
+			if refStats.CrossShardFrames == 0 {
+				t.Fatal("scenario produced no cross-shard traffic — the synchronizer is not exercised")
+			}
+			if !strings.Contains(refSnap, "netsim/c000/") || !strings.Contains(refSnap, "netsim/c003/") {
+				t.Fatalf("per-cell scopes missing from snapshot:\n%.400s", refSnap)
+			}
+			if !strings.Contains(refJSONL, `"scope":"c002"`) {
+				t.Fatalf("per-cell trace scopes missing:\n%.400s", refJSONL)
+			}
+			for _, sh := range []int{2, 8} {
+				s, snap, jsonl, chrome := shardExports(t, tc.cfg, sh)
+				if s != refStats {
+					t.Errorf("shards=%d: stats differ from shards=1", sh)
+				}
+				if snap != refSnap {
+					t.Errorf("shards=%d: metric snapshot differs from shards=1", sh)
+				}
+				if jsonl != refJSONL {
+					t.Errorf("shards=%d: JSONL export differs from shards=1", sh)
+				}
+				if chrome != refChrome {
+					t.Errorf("shards=%d: Chrome export differs from shards=1", sh)
+				}
+			}
+		})
 	}
 }

@@ -30,6 +30,7 @@ func Extensions() []Experiment {
 		{"Extension E5", "bent-pipe downlink vs in-space processing", ExtBentPipe},
 		{"Extension E6", "power × lifetime trade study Pareto front", ExtTradeStudy},
 		{"Extension E7", "overprovisioning under injected faults: DES vs analytic availability", ExtOverprovision},
+		{"Extension E8", "Walker topology scaling through the sharded conservative-lookahead DES", ExtShardedTopology},
 	}
 }
 

@@ -7,8 +7,8 @@ import (
 
 func TestAllExtensionsRun(t *testing.T) {
 	ext := Extensions()
-	if len(ext) != 7 {
-		t.Fatalf("have %d extensions, want 7", len(ext))
+	if len(ext) != 8 {
+		t.Fatalf("have %d extensions, want 8", len(ext))
 	}
 	for _, e := range ext {
 		tbl, err := e.Run()
@@ -154,6 +154,26 @@ func TestExtPipelineTimingSane(t *testing.T) {
 		}
 		if r[4] == "" {
 			t.Errorf("%s: missing bottleneck", r[0])
+		}
+	}
+}
+
+func TestExtShardedTopologyScaling(t *testing.T) {
+	tbl := run(t, ExtShardedTopology)
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("want 5 topology points, got %d", len(tbl.Rows))
+	}
+	// The single-plane star relays nothing; the sparsest placement
+	// (SµDC every 4th plane) averages a full boundary crossing per frame.
+	if hops := parseCell(t, tbl.Rows[0][3]); hops != 0 {
+		t.Errorf("single plane has %v cross-hops/frame, want 0", hops)
+	}
+	if hops := parseCell(t, tbl.Rows[len(tbl.Rows)-1][3]); hops < 0.9 {
+		t.Errorf("sparse placement has %v cross-hops/frame, want ≈ 1", hops)
+	}
+	for _, r := range tbl.Rows {
+		if a := parseCell(t, r[5]); a <= 0 || a > 100 {
+			t.Errorf("planes=%s: availability %s out of range", r[0], r[5])
 		}
 	}
 }

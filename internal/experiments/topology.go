@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sudc/internal/faults"
+	"sudc/internal/netsim"
+	"sudc/internal/topo"
+	"sudc/internal/workload"
+)
+
+// topologyFaults is the E8 fault environment: every fault process
+// active at rates that bite within the 30-minute horizon, so the
+// availability column reflects degraded service, not a constant 1.
+var topologyFaults = faults.Scenario{
+	NodeMTTF:          3 * time.Hour,
+	SEFIMTBE:          2 * time.Hour,
+	SEFIRecovery:      5 * time.Minute,
+	ISLOutageMTBF:     time.Hour,
+	ISLOutageDuration: 2 * time.Minute,
+}
+
+// ExtShardedTopology scales a Walker constellation from a single star
+// to eight planes with sparse SµDC placement, running each point
+// through the sharded conservative-lookahead DES. Denser relay rings
+// push a larger share of frames across cell boundaries; the table
+// shows what that costs in tail latency and whether the placed SµDCs
+// still keep up. Shard count never appears as a column because it
+// cannot matter: results are byte-identical for any Config.Shards.
+func ExtShardedTopology() (Table, error) {
+	app := workload.Suite[0]
+	t := Table{
+		ID:     "Extension E8",
+		Title:  "Walker topology scaling under faults (8 sats/plane, 5 workers/SµDC, 250 ms ISL)",
+		Header: []string{"planes", "SµDCs", "frames", "cross-hops/frame", "p95 latency", "availability", "keeps up"},
+	}
+	for _, pt := range []struct {
+		planes, sudcEvery int
+	}{
+		{1, 1}, // degenerate star: one plane, no ring
+		{2, 1}, // every plane served locally
+		{4, 2}, // alternating relay planes
+		{8, 2},
+		{8, 4}, // sparse placement: three relay planes per SµDC
+	} {
+		g, err := topo.Walker(pt.planes, 8, 5, pt.sudcEvery, 250*time.Millisecond)
+		if err != nil {
+			return Table{}, err
+		}
+		c := netsim.TopologyConfig(app, g)
+		c.BatchSize = 4
+		c.BatchTimeout = 30 * time.Second
+		c.Duration = 30 * time.Minute
+		c.Faults = topologyFaults
+		c.RetryLimit = 4
+		c.ShedThreshold = 200
+		c.Seed = 11
+		s, err := netsim.Run(c)
+		if err != nil {
+			return Table{}, err
+		}
+		sudcs := (pt.planes + pt.sudcEvery - 1) / pt.sudcEvery
+		keeps := "yes"
+		if !s.KeptUp {
+			keeps = "NO"
+		}
+		// CrossShardFrames counts boundary crossings, so a frame relayed
+		// through k cells contributes k — the ratio is hops per frame.
+		t.AddRow(fmt.Sprintf("%d", pt.planes), fmt.Sprintf("%d", sudcs),
+			fmt.Sprintf("%d", s.FramesGenerated),
+			f2(float64(s.CrossShardFrames)/float64(s.FramesGenerated)),
+			fmt.Sprintf("%.1fs", s.P95Latency.Seconds()),
+			pct(s.Availability), keeps)
+	}
+	return t, nil
+}

@@ -84,9 +84,10 @@ type Hang struct {
 }
 
 // Outage is one ISL outage window starting at Start and lasting
-// Duration seconds.
+// Duration seconds on link Edge (always 0 for single-link schedules).
 type Outage struct {
 	Start, Duration float64
+	Edge            int
 }
 
 // Schedule is a concrete fault timeline for one simulation run.
@@ -97,23 +98,43 @@ type Schedule struct {
 	// Hangs lists SEFI hangs sorted by (At, Node). A node never hangs
 	// after its death, and its own hangs never overlap.
 	Hangs []Hang
-	// Outages lists ISL outage windows, sorted and non-overlapping.
+	// Outages lists ISL outage windows sorted by (Start, Edge);
+	// windows on the same edge never overlap.
 	Outages []Outage
 }
 
-// islStream is the fork index of the ISL outage RNG stream — fixed and
-// far above any plausible node count so node streams never collide
-// with it.
+// islStream is the fork index of the first ISL outage RNG stream —
+// fixed and far above any plausible node count so node streams never
+// collide with it. Link e draws from stream islStream+e, so multi-edge
+// topologies get independent outage processes per edge and the
+// single-edge schedule is bit-identical to the pre-topology one.
 const islStream = 1 << 30
 
-// Build materializes the schedule for `nodes` nodes over the horizon.
-// See the package comment for the determinism contract.
+// Build materializes the schedule for `nodes` nodes and a single ISL
+// over the horizon. See the package comment for the determinism
+// contract.
 func Build(s Scenario, nodes int, horizon time.Duration, seed int64) (Schedule, error) {
+	if nodes < 1 {
+		return Schedule{}, errors.New("faults: need at least one node")
+	}
+	return BuildN(s, nodes, 1, horizon, seed)
+}
+
+// BuildN materializes the schedule for `nodes` nodes and `edges` ISL
+// links over the horizon. Unlike Build it accepts zero nodes (a relay
+// cell owns links but no workers). The schedule is a pure function of
+// (Scenario, nodes, edges, horizon, seed): each edge's outage process
+// draws from its own forked stream, so a schedule built for more edges
+// extends — never perturbs — the smaller one.
+func BuildN(s Scenario, nodes, edges int, horizon time.Duration, seed int64) (Schedule, error) {
 	if err := s.Validate(); err != nil {
 		return Schedule{}, err
 	}
-	if nodes < 1 {
-		return Schedule{}, errors.New("faults: need at least one node")
+	if nodes < 0 {
+		return Schedule{}, errors.New("faults: negative node count")
+	}
+	if edges < 1 {
+		return Schedule{}, errors.New("faults: need at least one edge")
 	}
 	if horizon <= 0 {
 		return Schedule{}, errors.New("faults: horizon must be positive")
@@ -147,12 +168,20 @@ func Build(s Scenario, nodes int, horizon time.Duration, seed int64) (Schedule, 
 		return sched.Hangs[a].Node < sched.Hangs[b].Node
 	})
 	if s.ISLOutageMTBF > 0 {
-		rng := par.ForkRand(seed, islStream)
-		for t := rng.ExpFloat64() * s.ISLOutageMTBF.Seconds(); t < h; {
-			dur := rng.ExpFloat64() * s.ISLOutageDuration.Seconds()
-			sched.Outages = append(sched.Outages, Outage{Start: t, Duration: dur})
-			t += dur + rng.ExpFloat64()*s.ISLOutageMTBF.Seconds()
+		for e := 0; e < edges; e++ {
+			rng := par.ForkRand(seed, islStream+e)
+			for t := rng.ExpFloat64() * s.ISLOutageMTBF.Seconds(); t < h; {
+				dur := rng.ExpFloat64() * s.ISLOutageDuration.Seconds()
+				sched.Outages = append(sched.Outages, Outage{Start: t, Duration: dur, Edge: e})
+				t += dur + rng.ExpFloat64()*s.ISLOutageMTBF.Seconds()
+			}
 		}
+		sort.Slice(sched.Outages, func(a, b int) bool {
+			if sched.Outages[a].Start != sched.Outages[b].Start {
+				return sched.Outages[a].Start < sched.Outages[b].Start
+			}
+			return sched.Outages[a].Edge < sched.Outages[b].Edge
+		})
 	}
 	return sched, nil
 }

@@ -89,8 +89,8 @@ func TestSimulatorReusesBackingArrays(t *testing.T) {
 	run()
 	heapPtr := &s.q.a[:1][0]
 	latPtr := &s.latencies[:1][0]
-	islPtr := &s.islQueue.buf[0]
-	inputPtr := &s.inputQueue.buf[0]
+	islPtr := &s.links[0].queue.buf[0]
+	inputPtr := &s.sudcs[0].input.buf[0]
 	capQ, capLat := cap(s.q.a), cap(s.latencies)
 	run()
 	if &s.q.a[:1][0] != heapPtr || cap(s.q.a) != capQ {
@@ -99,10 +99,10 @@ func TestSimulatorReusesBackingArrays(t *testing.T) {
 	if &s.latencies[:1][0] != latPtr || cap(s.latencies) != capLat {
 		t.Error("latency buffer was reallocated on reuse")
 	}
-	if &s.islQueue.buf[0] != islPtr {
+	if &s.links[0].queue.buf[0] != islPtr {
 		t.Error("ISL queue ring was reallocated on reuse")
 	}
-	if &s.inputQueue.buf[0] != inputPtr {
+	if &s.sudcs[0].input.buf[0] != inputPtr {
 		t.Error("input queue ring was reallocated on reuse")
 	}
 }

@@ -28,6 +28,8 @@ var eventNames = [...]string{
 	evWorkerDeath: "events/worker_death",
 	evSEFIStart:   "events/sefi_start",
 	evSEFIEnd:     "events/sefi_end",
+	evArrive:      "events/arrive",
+	evArriveMsg:   "events/arrive_msg",
 }
 
 // sampleState is the simulator state visible to the series sampler at
@@ -35,7 +37,6 @@ var eventNames = [...]string{
 type sampleState struct {
 	t            float64 // simulated seconds
 	inputQueue   int     // frames waiting for a batch slot
-	islQueue     int     // frames waiting for (or crossing) the link
 	backlog      int     // frames in flight anywhere in the pipeline
 	effective    int     // workers neither dead nor hung
 	availability float64 // availability integral over [0, t]
@@ -55,7 +56,7 @@ type recorder struct {
 	next   float64 // next grid point to sample
 
 	queueDepth *obs.Series
-	islDepth   *obs.Series
+	islDepth   []*obs.Series // one per ISL edge, named "isl/<from>-<to>"
 	backlog    *obs.Series
 	effective  *obs.Series
 	avail      *obs.Series
@@ -66,17 +67,19 @@ type recorder struct {
 	backoff *obs.Histogram
 }
 
+// newRecorder builds the run's recorder. The caller configures the
+// simulator's link array first: the per-edge ISL depth series are laid
+// out one per link, in link order.
 func newRecorder(reg *obs.Registry, every time.Duration, sim *simulator) *recorder {
 	period := every.Seconds()
 	if period <= 0 {
 		period = DefaultSampleEvery.Seconds()
 	}
-	return &recorder{
+	r := &recorder{
 		sim:        sim,
 		period:     period,
 		next:       period,
 		queueDepth: reg.Series("queue/depth"),
-		islDepth:   reg.Series("queue/isl"),
 		backlog:    reg.Series("backlog"),
 		effective:  reg.Series("workers/effective"),
 		avail:      reg.Series("availability"),
@@ -85,11 +88,19 @@ func newRecorder(reg *obs.Registry, every time.Duration, sim *simulator) *record
 		latency:    reg.Histogram("latency_s", latencyBuckets...),
 		backoff:    reg.Histogram("retry/backoff_s", backoffBuckets...),
 	}
+	r.islDepth = make([]*obs.Series, len(sim.links))
+	for i := range sim.links {
+		r.islDepth[i] = reg.Series("isl/" + sim.links[i].name)
+	}
+	return r
 }
 
 func (r *recorder) record(s sampleState) {
 	r.queueDepth.Sample(s.t, float64(s.inputQueue))
-	r.islDepth.Sample(s.t, float64(s.islQueue))
+	for i, ser := range r.islDepth {
+		l := &r.sim.links[i]
+		ser.Sample(s.t, float64(l.queue.len()+l.flight.len()))
+	}
 	r.backlog.Sample(s.t, float64(s.backlog))
 	r.effective.Sample(s.t, float64(s.effective))
 	r.avail.Sample(s.t, s.availability)

@@ -33,6 +33,7 @@ import (
 	"sudc/internal/obs"
 	"sudc/internal/obs/trace"
 	"sudc/internal/par"
+	"sudc/internal/topo"
 	"sudc/internal/units"
 	"sudc/internal/workload"
 )
@@ -101,6 +102,25 @@ type Config struct {
 	// time series (0 = DefaultSampleEvery; negative is invalid).
 	SampleEvery time.Duration
 
+	// Topology, when non-nil, replaces the implicit single-SµDC star
+	// with an explicit constellation graph: frames route along graph
+	// edges toward their nearest SµDC, every ISL edge gets its own
+	// queue, transfer state, and outage process, and the simulation is
+	// sharded by graph cell (orbital plane or cluster) with conservative
+	// cross-cell synchronization. Constellation.Satellites, Workers, and
+	// NeedWorkers are defined by the graph in this mode (NeedWorkers
+	// must stay 0: each cell's full worker complement defines full
+	// service); Constellation.FramesPerMinute, FilterRate, ISLRate (the
+	// rate inherited by edges with Rate 0), and every other field keep
+	// their meaning. A nil Topology is the legacy star, byte-identical
+	// to the pre-topology simulator.
+	Topology *topo.Graph
+	// Shards caps the number of parallel workers executing topology
+	// cells (0 = par.DefaultWorkers()). Results are byte-identical for
+	// any value: sharding only schedules which goroutine advances a
+	// cell, never what the cell computes. Ignored without Topology.
+	Shards int
+
 	// Trace, when non-nil, receives the run's frame-lineage flight
 	// recording: the full per-frame lifecycle (capture, ISL transfer,
 	// retries, batching, compute, downlink) plus the fault events that
@@ -136,19 +156,59 @@ func DefaultConfig(app workload.App) Config {
 	}
 }
 
+// TopologyConfig is DefaultConfig for an explicit constellation graph:
+// the same reference batching, retry, and timing settings, with the
+// satellite and worker populations defined by the graph instead of the
+// Constellation/Workers fields.
+func TopologyConfig(app workload.App, g *topo.Graph) Config {
+	c := DefaultConfig(app)
+	c.Topology = g
+	c.Workers = 0
+	c.NeedWorkers = 0
+	c.Constellation.Satellites = 0
+	return c
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
-	if err := c.Constellation.Validate(); err != nil {
-		return err
+	if c.Topology != nil {
+		// Topology mode: the graph defines satellites and workers, so
+		// only the per-satellite rate and filter fields of the
+		// constellation apply.
+		if err := c.Topology.Validate(); err != nil {
+			return err
+		}
+		if c.Constellation.FramesPerMinute <= 0 {
+			return errors.New("netsim: imaging rate must be positive")
+		}
+		if c.Constellation.FilterRate < 0 || c.Constellation.FilterRate >= 1 {
+			return fmt.Errorf("netsim: filter rate %v out of [0,1)", c.Constellation.FilterRate)
+		}
+		if c.NeedWorkers != 0 {
+			return errors.New("netsim: NeedWorkers is graph-defined in topology mode (must be 0)")
+		}
+		if c.Shards < 0 {
+			return errors.New("netsim: negative shard count")
+		}
+	} else {
+		if err := c.Constellation.Validate(); err != nil {
+			return err
+		}
+		if c.Workers < 1 {
+			return errors.New("netsim: need at least one worker")
+		}
+		if c.NeedWorkers < 0 {
+			return errors.New("netsim: negative need-workers")
+		}
+		if c.NeedWorkers > c.Workers {
+			return fmt.Errorf("netsim: need %d workers but only %d installed", c.NeedWorkers, c.Workers)
+		}
 	}
 	if err := c.App.Validate(); err != nil {
 		return err
 	}
 	if c.ISLRate <= 0 {
 		return errors.New("netsim: ISL rate must be positive")
-	}
-	if c.Workers < 1 {
-		return errors.New("netsim: need at least one worker")
 	}
 	if c.WorkerPower <= 0 {
 		return errors.New("netsim: worker power must be positive")
@@ -167,12 +227,6 @@ func (c Config) Validate() error {
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
-	}
-	if c.NeedWorkers < 0 {
-		return errors.New("netsim: negative need-workers")
-	}
-	if c.NeedWorkers > c.Workers {
-		return fmt.Errorf("netsim: need %d workers but only %d installed", c.NeedWorkers, c.Workers)
 	}
 	if c.RetryLimit < 0 {
 		return errors.New("netsim: negative retry limit")
@@ -239,6 +293,12 @@ type Stats struct {
 	// (default: all workers) in service — the DES counterpart of
 	// reliability.Availability.
 	Availability float64
+
+	// CrossShardFrames counts frames delivered across cell boundaries as
+	// timestamped messages by the sharded topology runner. Always zero
+	// for legacy (nil-Topology) runs and for topologies whose cells are
+	// self-contained.
+	CrossShardFrames int
 }
 
 // event kinds.
@@ -253,12 +313,14 @@ const (
 	evWorkerDeath        // a worker dies permanently
 	evSEFIStart          // a worker hangs on a transient SEFI
 	evSEFIEnd            // the watchdog recovered a hung worker
+	evArrive             // a frame finished propagating an intra-cell edge
+	evArriveMsg          // a cross-cell message frame arrives in this cell
 )
 
 type event struct {
 	at   float64 // seconds
 	kind int
-	who  int     // satellite or worker index
+	who  int     // satellite, worker, edge, SµDC, or arrival-slot index (by kind)
 	gen  int     // invalidation generation for evISLDone / evBatchDone
 	dur  float64 // payload: recovery or outage duration, seconds
 	seq  int     // heap tiebreak for determinism
@@ -288,6 +350,9 @@ type workerState struct {
 func Run(c Config) (Stats, error) {
 	if err := c.Validate(); err != nil {
 		return Stats{}, err
+	}
+	if c.Topology != nil {
+		return runTopology(c)
 	}
 	sched, err := faults.Build(c.Faults, c.Workers, c.Duration, c.Seed)
 	if err != nil {
@@ -361,6 +426,11 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 	}
 	if rng == nil {
 		return Stats{}, errors.New("netsim: nil rng")
+	}
+	if c.Topology != nil {
+		// Topology runs fork one RNG stream per cell from c.Seed; a
+		// single injected stream cannot express that.
+		return Stats{}, errors.New("netsim: topology runs own their RNG streams; use Run")
 	}
 	sched, err := faults.Build(c.Faults, c.Workers, c.Duration, c.Seed)
 	if err != nil {

@@ -218,7 +218,7 @@ func TestObsStreamRecordsFaultedRun(t *testing.T) {
 		series[sv.Name] = len(sv.Points)
 	}
 	wantPoints := int(c.Duration / DefaultSampleEvery)
-	for _, name := range []string{"queue/depth", "queue/isl", "backlog", "availability", "workers/effective", "retries", "shed"} {
+	for _, name := range []string{"queue/depth", "isl/sats-sudc", "backlog", "availability", "workers/effective", "retries", "shed"} {
 		if series[name] != wantPoints {
 			t.Errorf("series %s has %d points, want %d (one per simulated minute)", name, series[name], wantPoints)
 		}

@@ -1,0 +1,266 @@
+package netsim
+
+// Sharded topology execution: each graph cell (orbital plane, cluster)
+// runs the allocation-free DES core on its own subgraph, and cells
+// synchronize with a conservative lookahead window in the style of
+// Chandy–Misra–Bryant. The window width W is the minimum cross-cell
+// ISL propagation delay: every event a cell processes in the window
+// [T, T+W) can only emit cross-cell frames arriving at ≥ T+W, so a
+// cell that stops strictly before T+W can never receive a message from
+// the past. Cross-cell frames are carried between windows as
+// timestamped shardMsg values and injected before the next window
+// opens.
+//
+// Determinism contract: the window boundaries, the per-cell RNG
+// streams (par.ForkSeed(Seed, cell)), and the message injection order
+// (cell order, then arrival time, stable) are all pure functions of
+// the config — never of Config.Shards, which only caps how many
+// goroutines advance cells concurrently. Results are byte-identical
+// for any shard count.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sudc/internal/faults"
+	"sudc/internal/par"
+	"sudc/internal/units"
+)
+
+// shardRunner drives one topology run: the per-cell simulators, the
+// pending cross-cell messages, and the synchronization constants.
+type shardRunner struct {
+	c       Config
+	sims    []*simulator
+	pending []shardMsg // cross-cell frames awaiting injection
+
+	horizon  float64
+	wsec     float64 // conservative lookahead window, s
+	hasCross bool
+	eff      int // goroutines advancing cells
+
+	weights []int // per-cell worker counts, for merging
+	linksN  []int // per-cell link counts
+	allLat  []float64
+}
+
+// newShardRunner builds the per-cell simulators. A single-cell
+// topology runs on the root seed with no observability scoping — the
+// Star graph is then equivalent to the legacy implicit star — while
+// multi-cell topologies fork one seed, obs scope, and trace child
+// ("c%03d") per cell.
+func newShardRunner(c Config, plans []cellPlan) (*shardRunner, error) {
+	r := &shardRunner{
+		c:       c,
+		horizon: c.Duration.Seconds(),
+		sims:    make([]*simulator, 0, len(plans)),
+		weights: make([]int, len(plans)),
+		linksN:  make([]int, len(plans)),
+	}
+	if w, ok := c.Topology.MinCrossDelay(); ok {
+		r.hasCross = true
+		r.wsec = w.Seconds()
+	}
+	r.eff = c.Shards
+	if r.eff <= 0 {
+		r.eff = par.DefaultWorkers()
+	}
+	if r.eff > len(plans) {
+		r.eff = len(plans)
+	}
+	multi := len(plans) > 1
+	for i := range plans {
+		p := &plans[i]
+		cc := c
+		if multi {
+			cc.Seed = par.ForkSeed(c.Seed, i)
+			if c.Obs != nil {
+				cc.Obs = c.Obs.Scope(fmt.Sprintf("c%03d", i))
+			}
+			if c.Trace != nil {
+				cc.Trace = c.Trace.Child(fmt.Sprintf("c%03d", i))
+			}
+		}
+		edges := len(p.links)
+		if edges < 1 {
+			edges = 1 // relay-free cell: schedule shape only, outages dropped below
+		}
+		sched, err := faults.BuildN(c.Faults, p.workers, edges, c.Duration, cc.Seed)
+		if err != nil {
+			for _, s := range r.sims {
+				putSim(s)
+			}
+			return nil, err
+		}
+		if len(p.links) == 0 {
+			sched.Outages = nil
+		}
+		s := getSim()
+		if s.ownRand == nil {
+			s.ownRand = rand.New(rand.NewSource(cc.Seed))
+		} else {
+			s.ownRand.Seed(cc.Seed)
+		}
+		r.sims = append(r.sims, s)
+		s.resetTopo(cc, p, sched, i)
+		r.weights[i] = p.workers
+		r.linksN[i] = len(p.links)
+	}
+	return r, nil
+}
+
+// window advances every cell through one synchronization window and
+// exchanges the cross-cell frames it produced. It returns false once
+// no cell holds an event within the horizon.
+func (r *shardRunner) window() bool {
+	for i := range r.pending {
+		m := r.pending[i]
+		r.sims[m.cell].inject(m)
+	}
+	r.pending = r.pending[:0]
+
+	tmin := math.Inf(1)
+	for _, s := range r.sims {
+		if at := s.nextAt(); at < tmin {
+			tmin = at
+		}
+	}
+	if tmin > r.horizon {
+		return false
+	}
+	// Without cross-cell edges the cells are independent: one final
+	// window runs each to the horizon. With them, cells may process
+	// events strictly below tmin+W; the horizon boundary is inclusive
+	// to match the legacy `at > horizon` stop.
+	limit, final := r.horizon, true
+	if r.hasCross {
+		if l := tmin + r.wsec; l < r.horizon {
+			limit, final = l, false
+		}
+	}
+	if r.eff <= 1 {
+		for _, s := range r.sims {
+			s.runUntil(limit, final)
+		}
+	} else {
+		// The per-cell closure is error-free; ForNErr is used for its
+		// worker-count option.
+		_ = par.ForNErr(len(r.sims), func(i int) error {
+			r.sims[i].runUntil(limit, final)
+			return nil
+		}, par.Workers(r.eff))
+	}
+	// Gather outboxes in cell order — deterministic regardless of which
+	// goroutine finished first — then order by arrival time.
+	for _, s := range r.sims {
+		r.pending = append(r.pending, s.outbox...)
+		s.outbox = s.outbox[:0]
+	}
+	sortMsgs(r.pending)
+	// A final window can still emit cross-cell frames arriving within
+	// the horizon; loop again to deliver them.
+	return !final || len(r.pending) > 0
+}
+
+// finish closes every cell and merges the per-cell Stats: frame
+// counters sum, availability-style fractions average weighted by
+// worker count (so worker-less relay cells drop out), ISL utilization
+// averages weighted by link count, and the latency distribution is
+// recomputed over the merged samples.
+func (r *shardRunner) finish() Stats {
+	if len(r.sims) == 1 {
+		// Single cell: the cell's stats ARE the run's stats. Bypassing
+		// the weighted merge keeps the Star topology bit-identical to
+		// the legacy simulator (x*w/w is not an exact float identity).
+		s := r.sims[0]
+		cs := s.finish()
+		putSim(s)
+		return cs
+	}
+	var out Stats
+	var availW, degW, wuW, islW float64
+	totalWorkers, totalLinks := 0, 0
+	r.allLat = r.allLat[:0]
+	for i, s := range r.sims {
+		cs := s.finish()
+		w := float64(r.weights[i])
+		out.FramesGenerated += cs.FramesGenerated
+		out.FramesProcessed += cs.FramesProcessed
+		out.InsightsDownlinked += cs.InsightsDownlinked
+		out.FramesRetried += cs.FramesRetried
+		out.FramesRedispatched += cs.FramesRedispatched
+		out.FramesShed += cs.FramesShed
+		out.FramesLost += cs.FramesLost
+		out.CrossShardFrames += cs.CrossShardFrames
+		out.ComputeEnergy += cs.ComputeEnergy
+		out.WorkerDowntime += cs.WorkerDowntime
+		out.ISLDowntime += cs.ISLDowntime
+		if cs.MaxInputQueue > out.MaxInputQueue {
+			out.MaxInputQueue = cs.MaxInputQueue
+		}
+		availW += cs.Availability * w
+		degW += cs.DegradedFraction * w
+		wuW += cs.WorkerUtilization * w
+		islW += cs.ISLUtilization * float64(r.linksN[i])
+		totalWorkers += r.weights[i]
+		totalLinks += r.linksN[i]
+		r.allLat = append(r.allLat, s.latencies...)
+		putSim(s)
+	}
+	// A frame that crossed cells counts +1 in its producer's generated
+	// and −1 via its consumer's processed/shed/lost, so the global sum
+	// is the true in-flight backlog.
+	out.Backlog = out.FramesGenerated - out.FramesProcessed - out.FramesShed - out.FramesLost
+	if totalWorkers > 0 {
+		out.Availability = units.Clamp(availW/float64(totalWorkers), 0, 1)
+		out.DegradedFraction = units.Clamp(degW/float64(totalWorkers), 0, 1)
+		out.WorkerUtilization = units.Clamp(wuW/float64(totalWorkers), 0, 1)
+	}
+	if totalLinks > 0 {
+		out.ISLUtilization = units.Clamp(islW/float64(totalLinks), 0, 1)
+	}
+	if len(r.allLat) > 0 {
+		sort.Float64s(r.allLat)
+		var sum float64
+		for _, l := range r.allLat {
+			sum += l
+		}
+		out.MeanLatency = time.Duration(sum / float64(len(r.allLat)) * float64(time.Second))
+		out.P95Latency = time.Duration(r.allLat[int(float64(len(r.allLat))*0.95)] * float64(time.Second))
+	}
+	out.KeptUp = out.Backlog <= 2*r.c.BatchSize*totalWorkers
+	return out
+}
+
+// sortMsgs orders cross-cell messages by arrival time with a stable
+// insertion sort: per-window message counts are small, and unlike
+// sort.SliceStable this keeps the exchange allocation-free.
+func sortMsgs(ms []shardMsg) {
+	for i := 1; i < len(ms); i++ {
+		m := ms[i]
+		j := i - 1
+		for j >= 0 && ms[j].at > m.at {
+			ms[j+1] = ms[j]
+			j--
+		}
+		ms[j+1] = m
+	}
+}
+
+// runTopology executes a topology-mode configuration.
+func runTopology(c Config) (Stats, error) {
+	plans, err := compile(c.Topology)
+	if err != nil {
+		return Stats{}, err
+	}
+	r, err := newShardRunner(c, plans)
+	if err != nil {
+		return Stats{}, err
+	}
+	for r.window() {
+	}
+	return r.finish(), nil
+}

@@ -41,22 +41,78 @@ func (r *randBuf) Float64() float64 {
 	return v
 }
 
-// simulator is one run's entire state. The previous implementation kept
-// this state in ~30 locals captured by per-purpose closures inside Run;
-// hoisting it into a struct makes the loop body allocation-free, lets a
-// sync.Pool recycle every backing array across runs (RunReplicas reuses
-// queues, heap, and latency buffers instead of reallocating them per
-// replica), and gives tests a stepping API to pin the zero-allocation
-// steady state with testing.AllocsPerRun.
+// linkState is one directed ISL edge: its static compile-time routing
+// (where a frame delivered at the far end continues) plus the dynamic
+// transfer state that used to live as the simulator's single aggregate
+// ISL. The legacy star is exactly one linkState with zero delay whose
+// continuation is SµDC 0, so the generalized per-edge code replays the
+// pre-refactor event sequence bit for bit.
+type linkState struct {
+	// Static per-run compile outputs.
+	sendTime float64 // per-frame transmission time, s
+	delay    float64 // propagation delay, s
+	dest     int     // local continuation: edge index, or ^sudcIndex
+	cross    bool    // continuation lives in another cell
+	destCell int     // cross: destination cell
+	crossTo  int     // cross: continuation in the destination cell (edge or ^sudc)
+	name     string  // metrics label "<from>-<to>"
+	label    string  // trace edge label; "" outside topology mode
+
+	// Dynamic transfer state.
+	queue      frameDeque // frames waiting for (or crossing) the link
+	flight     frameDeque // intra-cell frames in propagation (delay > 0)
+	sending    bool
+	down       bool
+	gen        int // invalidates stale evISLDone events
+	sendStart  float64
+	retryArmed bool
+	busySum    float64
+	downSum    float64
+	outageIdx  int
+	outageName string
+}
+
+// sudcState is one SµDC's batching queue over its slice of the flat
+// worker array [w0, w0+nw).
+type sudcState struct {
+	w0, nw       int
+	input        frameDeque
+	timeoutArmed bool
+}
+
+// sourceState is one capture group: sats satellites sharing first-hop
+// edge.
+type sourceState struct {
+	sats int
+	edge int
+}
+
+// shardMsg is one cross-cell frame in flight: it arrives in cell `cell`
+// at simulated time `at` and continues at target (edge index, or
+// ^sudcIndex).
+type shardMsg struct {
+	at     float64
+	f      frame
+	cell   int
+	target int
+}
+
+// simulator is one run's (or one shard cell's) entire state. The state
+// lives in a struct rather than closure-captured locals so the loop
+// body is allocation-free and a sync.Pool can recycle every backing
+// array across runs; tests use the stepping API to pin the
+// zero-allocation steady state with testing.AllocsPerRun.
 type simulator struct {
 	// Derived per-run constants.
 	c            Config
 	horizon      float64
 	framePeriod  float64
-	islTime      float64
+	frameBits    float64
 	nodePixSec   float64
 	framePixels  float64
 	need         int
+	totalWorkers int
+	totalSats    int
 	backoffBase  float64
 	backoffCap   float64
 	capDoublings int
@@ -69,26 +125,33 @@ type simulator struct {
 	// RunWithRand substitutes the caller's stream instead.
 	ownRand *rand.Rand
 
-	q            eventHeap
-	seq          int
-	islQueue     frameDeque
-	inputQueue   frameDeque
-	islSending   bool
-	islDown      bool
-	islGen       int
-	islSendStart float64
-	retryArmed   bool
-	islBusySum   float64
-	islDownSum   float64
-	workers      []workerState
-	freeBatches  [][]frame // batch free-list, recycled on frame completion
+	q   eventHeap
+	seq int
+
+	// Compiled topology. The legacy configuration compiles to one
+	// source group, one link, and one SµDC.
+	sources    []sourceState
+	links      []linkState
+	sudcs      []sudcState
+	satEdge    []int // cell-local satellite index → first-hop edge
+	workerSudc []int // flat worker index → SµDC index
+
+	workers     []workerState
+	freeBatches [][]frame // batch free-list, recycled on frame completion
+
+	// Cross-cell messaging (sharded runs only).
+	outbox    []shardMsg // frames sent to other cells this window
+	arrivals  []shardMsg // slot-addressed inbox; evArriveMsg.who indexes it
+	freeSlots []int      // recycled arrival slots
+	crossSent int
+	crossRecv int
+
 	effective    int
 	lastT        float64
 	upTime       float64
 	degradedTime float64
 	downWS       float64
 	busySum      float64
-	timeoutArmed bool
 	stats        Stats
 	latencies    []float64
 	now          float64
@@ -96,10 +159,9 @@ type simulator struct {
 	rec     *recorder
 	evCount [len(eventNames)]int64
 
-	tr          *trace.Recorder
-	frameID     int64
-	outageIdx   int
-	outageCause string
+	tr       *trace.Recorder
+	topoMode bool
+	frameID  int64
 }
 
 // simPool recycles simulator state — heap, ring buffers, latency and
@@ -119,21 +181,63 @@ func putSim(s *simulator) {
 	simPool.Put(s)
 }
 
-// reset prepares the pooled simulator for one run, reusing every backing
-// array that is already large enough.
-func (s *simulator) reset(c Config, sched faults.Schedule, src *rand.Rand) {
+// resizeInts reuses an int slice's backing array for n entries.
+func resizeInts(a []int, n int) []int {
+	if cap(a) >= n {
+		return a[:n]
+	}
+	return make([]int, n)
+}
+
+// resizeLinks resizes the link array to n entries, zeroing per-run
+// state while keeping the warmed deque buffers of recycled slots.
+func resizeLinks(links []linkState, n int) []linkState {
+	if cap(links) >= n {
+		links = links[:n]
+	} else {
+		old := links
+		links = make([]linkState, n)
+		copy(links, old)
+	}
+	for i := range links {
+		l := &links[i]
+		q, fl := l.queue, l.flight
+		q.reset()
+		fl.reset()
+		*l = linkState{queue: q, flight: fl}
+	}
+	return links
+}
+
+// resizeSudcs resizes the SµDC array to n entries, keeping warmed input
+// queues.
+func resizeSudcs(sudcs []sudcState, n int) []sudcState {
+	if cap(sudcs) >= n {
+		sudcs = sudcs[:n]
+	} else {
+		old := sudcs
+		sudcs = make([]sudcState, n)
+		copy(sudcs, old)
+	}
+	for i := range sudcs {
+		d := &sudcs[i]
+		in := d.input
+		in.reset()
+		*d = sudcState{input: in}
+	}
+	return sudcs
+}
+
+// resetCommon prepares everything that does not depend on the layout:
+// derived constants, the RNG, the worker array, counters, and arenas.
+func (s *simulator) resetCommon(c Config, src *rand.Rand, workers int) {
 	s.c = c
 	s.horizon = c.Duration.Seconds()
 	s.framePeriod = 60 / c.Constellation.FramesPerMinute
-	frameBits := c.App.FrameBits() * (1 - c.Constellation.FilterRate)
-	s.islTime = frameBits / float64(c.ISLRate)
+	s.frameBits = c.App.FrameBits() * (1 - c.Constellation.FilterRate)
 	s.nodePixSec = c.App.KPixelPerJoule * 1e3 * float64(c.WorkerPower)
 	s.framePixels = c.App.FrameMPixels * 1e6 * (1 - c.Constellation.FilterRate)
 
-	s.need = c.NeedWorkers
-	if s.need == 0 {
-		s.need = c.Workers
-	}
 	s.backoffBase = c.RetryBackoff.Seconds()
 	if s.backoffBase <= 0 {
 		s.backoffBase = 2
@@ -173,47 +277,30 @@ func (s *simulator) reset(c Config, sched faults.Schedule, src *rand.Rand) {
 			s.workers[i].batch = nil
 		}
 	}
-	if cap(s.workers) >= c.Workers {
-		s.workers = s.workers[:c.Workers]
+	if cap(s.workers) >= workers {
+		s.workers = s.workers[:workers]
 		for i := range s.workers {
 			s.workers[i] = workerState{}
 		}
 	} else {
-		s.workers = make([]workerState, c.Workers)
+		s.workers = make([]workerState, workers)
 	}
+	s.totalWorkers = workers
 
 	s.q.reset()
-	s.q.grow(c.Constellation.Satellites + 4*c.Workers +
-		len(sched.Deaths) + len(sched.Hangs) + len(sched.Outages) + 64)
 	s.seq = 0
-	s.islQueue.reset()
-	s.inputQueue.reset()
-	s.islSending, s.islDown = false, false
-	s.islGen = 0
-	s.islSendStart = 0
-	s.retryArmed = false
-	s.islBusySum, s.islDownSum = 0, 0
-	s.effective = c.Workers
+	s.outbox = s.outbox[:0]
+	s.arrivals = s.arrivals[:0]
+	s.freeSlots = s.freeSlots[:0]
+	s.crossSent, s.crossRecv = 0, 0
+	s.effective = workers
 	s.lastT, s.upTime, s.degradedTime, s.downWS, s.busySum = 0, 0, 0, 0, 0
-	s.timeoutArmed = false
 	s.stats = Stats{}
-	// Pre-size the latency buffer for the worst-case frame count (5%
-	// jitter bound), so steady-state appends never reallocate.
-	maxFrames := int(float64(c.Constellation.Satellites)*s.horizon/(s.framePeriod*0.95)) +
-		c.Constellation.Satellites + 16
-	if cap(s.latencies) < maxFrames {
-		s.latencies = make([]float64, 0, maxFrames)
-	} else {
-		s.latencies = s.latencies[:0]
-	}
 	s.now = 0
 
 	s.rec = nil
 	for i := range s.evCount {
 		s.evCount[i] = 0
-	}
-	if c.Obs != nil {
-		s.rec = newRecorder(c.Obs, c.SampleEvery, s)
 	}
 
 	// Frame-lineage flight recording. tr stays nil when tracing is off,
@@ -222,14 +309,32 @@ func (s *simulator) reset(c Config, sched faults.Schedule, src *rand.Rand) {
 	// start order — both pure functions of simulated time.
 	s.tr = c.Trace
 	s.frameID = 0
-	s.outageIdx = 0
-	s.outageCause = ""
+}
 
-	// Seed per-satellite frame generation with random phase.
-	for sat := 0; sat < c.Constellation.Satellites; sat++ {
-		s.push(event{at: s.rng.Float64() * s.framePeriod, kind: evFrameReady, who: sat})
+// sizeLatencies pre-sizes the latency buffer for the worst-case frame
+// count (5% jitter bound), so steady-state appends never reallocate.
+func (s *simulator) sizeLatencies(sats int) {
+	maxFrames := int(float64(sats)*s.horizon/(s.framePeriod*0.95)) + sats + 16
+	if cap(s.latencies) < maxFrames {
+		s.latencies = make([]float64, 0, maxFrames)
+	} else {
+		s.latencies = s.latencies[:0]
 	}
-	// Inject the fault schedule.
+}
+
+// seedEvents pushes the initial event population: per-satellite frame
+// generation with random phase, then the fault schedule. The push order
+// is part of the determinism contract (it fixes event sequence numbers).
+func (s *simulator) seedEvents(sched faults.Schedule) {
+	sat := 0
+	for gi := range s.sources {
+		g := &s.sources[gi]
+		for i := 0; i < g.sats; i++ {
+			s.satEdge[sat] = g.edge
+			s.push(event{at: s.rng.Float64() * s.framePeriod, kind: evFrameReady, who: sat})
+			sat++
+		}
+	}
 	for w, death := range sched.Deaths {
 		if death <= s.horizon {
 			s.push(event{at: death, kind: evWorkerDeath, who: w})
@@ -239,14 +344,83 @@ func (s *simulator) reset(c Config, sched faults.Schedule, src *rand.Rand) {
 		s.push(event{at: hg.At, kind: evSEFIStart, who: hg.Node, dur: hg.Recovery})
 	}
 	for _, o := range sched.Outages {
-		s.push(event{at: o.Start, kind: evOutageStart, dur: o.Duration})
+		s.push(event{at: o.Start, kind: evOutageStart, who: o.Edge, dur: o.Duration})
 	}
+}
+
+// reset prepares the pooled simulator for one legacy (implicit-star)
+// run, reusing every backing array that is already large enough. The
+// star compiles to one source group feeding SµDC 0 over link 0 with
+// zero propagation delay — the exact pre-topology shape.
+func (s *simulator) reset(c Config, sched faults.Schedule, src *rand.Rand) {
+	s.resetCommon(c, src, c.Workers)
+	s.topoMode = false
+
+	s.need = c.NeedWorkers
+	if s.need == 0 {
+		s.need = c.Workers
+	}
+	s.totalSats = c.Constellation.Satellites
+
+	s.links = resizeLinks(s.links, 1)
+	l := &s.links[0]
+	l.sendTime = s.frameBits / float64(c.ISLRate)
+	l.dest = ^0
+	l.name = "sats-sudc"
+
+	s.sudcs = resizeSudcs(s.sudcs, 1)
+	s.sudcs[0].w0, s.sudcs[0].nw = 0, c.Workers
+
+	if cap(s.sources) >= 1 {
+		s.sources = s.sources[:1]
+	} else {
+		s.sources = make([]sourceState, 1)
+	}
+	s.sources[0] = sourceState{sats: c.Constellation.Satellites, edge: 0}
+	s.satEdge = resizeInts(s.satEdge, c.Constellation.Satellites)
+	s.workerSudc = resizeInts(s.workerSudc, c.Workers)
+	for i := range s.workerSudc {
+		s.workerSudc[i] = 0
+	}
+
+	s.q.grow(c.Constellation.Satellites + 4*c.Workers +
+		len(sched.Deaths) + len(sched.Hangs) + len(sched.Outages) + 64)
+	s.sizeLatencies(c.Constellation.Satellites)
+
+	if c.Obs != nil {
+		s.rec = newRecorder(c.Obs, c.SampleEvery, s)
+	}
+	s.seedEvents(sched)
 }
 
 func (s *simulator) push(e event) {
 	s.seq++
 	e.seq = s.seq
 	s.q.push(e)
+}
+
+// nextAt returns the next event time, or +Inf when the heap is empty.
+func (s *simulator) nextAt() float64 {
+	if s.q.len() == 0 {
+		return math.Inf(1)
+	}
+	return s.q.a[0].at
+}
+
+// inject lands one cross-cell message: the frame is parked in an
+// arrival slot (recycled through freeSlots, so the steady state is
+// allocation-free) and an evArriveMsg event delivers it at m.at.
+func (s *simulator) inject(m shardMsg) {
+	var slot int
+	if n := len(s.freeSlots); n > 0 {
+		slot = s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+		s.arrivals[slot] = m
+	} else {
+		slot = len(s.arrivals)
+		s.arrivals = append(s.arrivals, m)
+	}
+	s.push(event{at: m.at, kind: evArriveMsg, who: slot})
 }
 
 // getBatch takes a frame slice from the free-list (or allocates one
@@ -273,10 +447,10 @@ func (s *simulator) accrue(t float64) {
 		if s.effective >= s.need {
 			s.upTime += dt
 		}
-		if s.effective < s.c.Workers {
+		if s.effective < s.totalWorkers {
 			s.degradedTime += dt
 		}
-		s.downWS += dt * float64(s.c.Workers-s.effective)
+		s.downWS += dt * float64(s.totalWorkers-s.effective)
 	}
 	s.lastT = t
 }
@@ -291,7 +465,8 @@ func (s *simulator) recount() {
 }
 
 // sampleState is the simulator state visible to the series sampler at
-// simulated instant t.
+// simulated instant t. Per-edge queue depths are read off s.links
+// directly by the recorder.
 func (s *simulator) sampleState(t float64) sampleState {
 	up := s.upTime
 	if s.effective >= s.need && t > s.lastT {
@@ -301,12 +476,15 @@ func (s *simulator) sampleState(t float64) sampleState {
 	if t > 0 {
 		avail = up / t
 	}
+	input := 0
+	for i := range s.sudcs {
+		input += s.sudcs[i].input.len()
+	}
 	return sampleState{
 		t:          t,
-		inputQueue: s.inputQueue.len(),
-		islQueue:   s.islQueue.len(),
-		backlog: s.stats.FramesGenerated - s.stats.FramesProcessed -
-			s.stats.FramesShed - s.stats.FramesLost,
+		inputQueue: input,
+		backlog: s.stats.FramesGenerated + s.crossRecv - s.crossSent -
+			s.stats.FramesProcessed - s.stats.FramesShed - s.stats.FramesLost,
 		effective:    s.effective,
 		availability: avail,
 		retried:      s.stats.FramesRetried,
@@ -326,83 +504,86 @@ func (s *simulator) backoff(tries int) float64 {
 	return d
 }
 
-// failHead records a failed transmission attempt for the head frame:
-// retry after backoff, or drop it past the retry limit.
-func (s *simulator) failHead() {
-	f := s.islQueue.front()
+// failHead records a failed transmission attempt for link ei's head
+// frame: retry after backoff, or drop it past the retry limit.
+func (s *simulator) failHead(ei int) {
+	l := &s.links[ei]
+	f := l.queue.front()
 	f.tries++
 	if s.c.RetryLimit > 0 && f.tries > s.c.RetryLimit {
 		if s.tr != nil {
 			s.tr.Record(trace.Event{T: s.now, Kind: trace.Lost, Frame: f.id,
-				Node: -1, Attempt: f.tries, Cause: s.outageCause})
+				Node: -1, Attempt: f.tries, Cause: l.outageName, Edge: l.label})
 		}
-		s.islQueue.popFront()
+		l.queue.popFront()
 		s.stats.FramesLost++
 		return
 	}
 	s.stats.FramesRetried++
-	s.retryArmed = true
+	l.retryArmed = true
 	delay := s.backoff(f.tries)
 	if s.rec != nil {
 		s.rec.backoff.Observe(delay)
 	}
 	if s.tr != nil {
 		s.tr.Record(trace.Event{T: s.now, Kind: trace.Retry, Frame: f.id,
-			Node: -1, Attempt: f.tries, Backoff: delay, Cause: s.outageCause})
+			Node: -1, Attempt: f.tries, Backoff: delay, Cause: l.outageName, Edge: l.label})
 	}
-	s.push(event{at: s.now + delay, kind: evISLRetry})
+	s.push(event{at: s.now + delay, kind: evISLRetry, who: ei})
 }
 
-// attemptISL starts the head frame's transfer, or fails it into backoff
-// when the link is down.
-func (s *simulator) attemptISL() {
-	for !s.islSending && !s.retryArmed && s.islQueue.len() > 0 {
-		if s.islDown {
-			s.failHead() // arms a retry (exits loop) or drops the head
+// attemptISL starts link ei's head-frame transfer, or fails it into
+// backoff when the link is down.
+func (s *simulator) attemptISL(ei int) {
+	l := &s.links[ei]
+	for !l.sending && !l.retryArmed && l.queue.len() > 0 {
+		if l.down {
+			s.failHead(ei) // arms a retry (exits loop) or drops the head
 			continue
 		}
-		s.islSending = true
-		s.islGen++
-		s.islSendStart = s.now
+		l.sending = true
+		l.gen++
+		l.sendStart = s.now
 		if s.tr != nil {
 			s.tr.Record(trace.Event{T: s.now, Kind: trace.ISLSendStart,
-				Frame: s.islQueue.front().id, Node: -1})
+				Frame: l.queue.front().id, Node: -1, Edge: l.label})
 		}
-		s.push(event{at: s.now + s.islTime, kind: evISLDone, gen: s.islGen})
+		s.push(event{at: s.now + l.sendTime, kind: evISLDone, who: ei, gen: l.gen})
 		return
 	}
 }
 
-// addToInput lands a frame in the batching queue, shedding the
+// addToInput lands a frame in SµDC si's batching queue, shedding the
 // lowest-value frame when the queue outgrows the threshold.
-func (s *simulator) addToInput(f frame) {
-	s.inputQueue.pushBack(f)
+func (s *simulator) addToInput(si int, f frame) {
+	in := &s.sudcs[si].input
+	in.pushBack(f)
 	if s.tr != nil {
 		s.tr.Record(trace.Event{T: s.now, Kind: trace.Enqueued, Frame: f.id, Node: -1})
 	}
-	if s.shedEnabled && s.inputQueue.len() > s.shedLimit {
+	if s.shedEnabled && in.len() > s.shedLimit {
 		low := 0
-		for i := 1; i < s.inputQueue.len(); i++ {
-			if s.inputQueue.at(i).value < s.inputQueue.at(low).value {
+		for i := 1; i < in.len(); i++ {
+			if in.at(i).value < in.at(low).value {
 				low = i
 			}
 		}
 		if s.tr != nil {
 			s.tr.Record(trace.Event{T: s.now, Kind: trace.Shed,
-				Frame: s.inputQueue.at(low).id, Node: -1})
+				Frame: in.at(low).id, Node: -1})
 		}
-		s.inputQueue.removeAt(low)
+		in.removeAt(low)
 		s.stats.FramesShed++
 	}
-	if s.inputQueue.len() > s.stats.MaxInputQueue {
-		s.stats.MaxInputQueue = s.inputQueue.len()
+	if in.len() > s.stats.MaxInputQueue {
+		s.stats.MaxInputQueue = in.len()
 	}
 }
 
-// freeWorker returns the lowest-index dispatchable worker, for
-// deterministic worker selection.
-func (s *simulator) freeWorker() int {
-	for i := range s.workers {
+// freeWorker returns the lowest-index dispatchable worker in the
+// SµDC's slice, for deterministic worker selection.
+func (s *simulator) freeWorker(d *sudcState) int {
+	for i := d.w0; i < d.w0+d.nw; i++ {
 		if !s.workers[i].dead && !s.workers[i].hung && !s.workers[i].busy {
 			return i
 		}
@@ -410,19 +591,20 @@ func (s *simulator) freeWorker() int {
 	return -1
 }
 
-func (s *simulator) dispatch(force bool) {
-	for s.inputQueue.len() >= s.c.BatchSize || (force && s.inputQueue.len() > 0) {
-		wi := s.freeWorker()
+func (s *simulator) dispatch(si int, force bool) {
+	d := &s.sudcs[si]
+	for d.input.len() >= s.c.BatchSize || (force && d.input.len() > 0) {
+		wi := s.freeWorker(d)
 		if wi < 0 {
 			break
 		}
 		n := s.c.BatchSize
-		if n > s.inputQueue.len() {
-			n = s.inputQueue.len()
+		if n > d.input.len() {
+			n = d.input.len()
 		}
 		batch := s.getBatch()
 		for i := 0; i < n; i++ {
-			batch = append(batch, s.inputQueue.popFront())
+			batch = append(batch, d.input.popFront())
 		}
 		w := &s.workers[wi]
 		service := float64(n) * s.framePixels / s.nodePixSec
@@ -439,9 +621,9 @@ func (s *simulator) dispatch(force bool) {
 		}
 		s.push(event{at: w.doneAt, kind: evBatchDone, who: wi, gen: w.gen})
 	}
-	if s.inputQueue.len() > 0 && !s.timeoutArmed {
-		s.timeoutArmed = true
-		s.push(event{at: s.now + s.batchTimeout, kind: evBatchingOut})
+	if d.input.len() > 0 && !d.timeoutArmed {
+		d.timeoutArmed = true
+		s.push(event{at: s.now + s.batchTimeout, kind: evBatchingOut, who: si})
 	}
 }
 
@@ -451,7 +633,31 @@ func (s *simulator) step() bool {
 	if s.q.len() == 0 || s.q.a[0].at > s.horizon {
 		return false
 	}
-	e := s.q.pop()
+	s.apply(s.q.pop())
+	return true
+}
+
+// runUntil drains events with at < limit (final windows include the
+// boundary: at ≤ limit), the per-window half of the conservative
+// synchronizer. Non-final windows must exclude the boundary so a
+// cross-cell message arriving exactly at the next window start is
+// injected before any local event at that instant is applied.
+func (s *simulator) runUntil(limit float64, final bool) {
+	for s.q.len() > 0 {
+		at := s.q.a[0].at
+		if final {
+			if at > limit {
+				return
+			}
+		} else if at >= limit {
+			return
+		}
+		s.apply(s.q.pop())
+	}
+}
+
+// apply advances the simulation by one event.
+func (s *simulator) apply(e event) {
 	if s.rec != nil {
 		s.rec.catchUp(e.at)
 	}
@@ -462,68 +668,132 @@ func (s *simulator) step() bool {
 	case evFrameReady:
 		s.stats.FramesGenerated++
 		s.frameID++
-		s.islQueue.pushBack(frame{id: s.frameID, born: s.now, value: s.rng.Float64()})
+		ei := s.satEdge[e.who]
+		s.links[ei].queue.pushBack(frame{id: s.frameID, born: s.now, value: s.rng.Float64()})
 		if s.tr != nil {
 			s.tr.Record(trace.Event{T: s.now, Kind: trace.FrameCaptured,
 				Frame: s.frameID, Node: e.who})
 		}
-		s.attemptISL()
+		s.attemptISL(ei)
 		// Next frame from this satellite, with 5% timing jitter.
 		jitter := 1 + 0.1*(s.rng.Float64()-0.5)
 		s.push(event{at: s.now + s.framePeriod*jitter, kind: evFrameReady, who: e.who})
 
 	case evISLDone:
-		if e.gen != s.islGen || !s.islSending {
+		ei := e.who
+		l := &s.links[ei]
+		if e.gen != l.gen || !l.sending {
 			break // transfer aborted by an outage
 		}
-		s.islSending = false
-		s.islBusySum += s.now - s.islSendStart
-		f := s.islQueue.popFront()
+		l.sending = false
+		l.busySum += s.now - l.sendStart
+		f := l.queue.popFront()
 		if s.tr != nil {
-			s.tr.Record(trace.Event{T: s.now, Kind: trace.ISLSendEnd, Frame: f.id, Node: -1})
+			s.tr.Record(trace.Event{T: s.now, Kind: trace.ISLSendEnd, Frame: f.id,
+				Node: -1, Edge: l.label})
 		}
-		s.addToInput(f)
-		s.attemptISL()
-		s.dispatch(false)
+		switch {
+		case l.cross:
+			// The frame leaves this cell: it becomes a timestamped
+			// message the shard runner delivers at the next barrier.
+			s.crossSent++
+			s.outbox = append(s.outbox, shardMsg{
+				at: s.now + l.delay, f: f, cell: l.destCell, target: l.crossTo})
+			s.attemptISL(ei)
+		case l.delay > 0:
+			// Propagation within the cell: the link frees immediately,
+			// the frame arrives delay seconds later (per-edge constant
+			// delay keeps the flight deque FIFO-correct).
+			l.flight.pushBack(f)
+			s.push(event{at: s.now + l.delay, kind: evArrive, who: ei})
+			s.attemptISL(ei)
+		case l.dest >= 0:
+			// Zero-delay relay hop onto the next edge.
+			s.links[l.dest].queue.pushBack(f)
+			s.attemptISL(ei)
+			s.attemptISL(l.dest)
+		default:
+			// Arrival at the SµDC. This operation order (enqueue, next
+			// transfer, dispatch) is the legacy event order — do not
+			// reorder, the goldens pin it.
+			si := ^l.dest
+			s.addToInput(si, f)
+			s.attemptISL(ei)
+			s.dispatch(si, false)
+		}
+
+	case evArrive:
+		l := &s.links[e.who]
+		f := l.flight.popFront()
+		if l.dest >= 0 {
+			s.links[l.dest].queue.pushBack(f)
+			s.attemptISL(l.dest)
+		} else {
+			si := ^l.dest
+			s.addToInput(si, f)
+			s.dispatch(si, false)
+		}
+
+	case evArriveMsg:
+		m := s.arrivals[e.who]
+		s.freeSlots = append(s.freeSlots, e.who)
+		s.crossRecv++
+		s.stats.CrossShardFrames++
+		if m.target >= 0 {
+			s.links[m.target].queue.pushBack(m.f)
+			s.attemptISL(m.target)
+		} else {
+			si := ^m.target
+			s.addToInput(si, m.f)
+			s.dispatch(si, false)
+		}
 
 	case evISLRetry:
-		s.retryArmed = false
-		s.attemptISL()
+		l := &s.links[e.who]
+		l.retryArmed = false
+		s.attemptISL(e.who)
 
 	case evOutageStart:
-		s.islDown = true
-		s.outageIdx++
-		s.outageCause = ""
+		ei := e.who
+		l := &s.links[ei]
+		l.down = true
+		l.outageIdx++
+		l.outageName = ""
 		if s.tr != nil {
-			s.outageCause = fmt.Sprintf("isl-outage#%d", s.outageIdx)
+			if l.label == "" {
+				l.outageName = fmt.Sprintf("isl-outage#%d", l.outageIdx)
+			} else {
+				l.outageName = fmt.Sprintf("isl-outage#%d@%s", l.outageIdx, l.label)
+			}
 			s.tr.Record(trace.Event{T: s.now, Kind: trace.OutageStart,
-				Node: -1, Dur: e.dur, Cause: s.outageCause})
+				Node: -1, Dur: e.dur, Cause: l.outageName, Edge: l.label})
 		}
 		end := s.now + e.dur
 		if clip := math.Min(end, s.horizon); clip > s.now {
-			s.islDownSum += clip - s.now
+			l.downSum += clip - s.now
 		}
-		s.push(event{at: end, kind: evOutageEnd})
-		if s.islSending {
+		s.push(event{at: end, kind: evOutageEnd, who: ei})
+		if l.sending {
 			// Abort the in-flight transfer; the head frame retries.
-			s.islSending = false
-			s.islGen++
-			s.islBusySum += s.now - s.islSendStart
+			l.sending = false
+			l.gen++
+			l.busySum += s.now - l.sendStart
 			if s.tr != nil {
 				s.tr.Record(trace.Event{T: s.now, Kind: trace.ISLSendEnd,
-					Frame: s.islQueue.front().id, Node: -1, Cause: s.outageCause})
+					Frame: l.queue.front().id, Node: -1, Cause: l.outageName, Edge: l.label})
 			}
-			s.failHead()
-			s.attemptISL()
+			s.failHead(ei)
+			s.attemptISL(ei)
 		}
 
 	case evOutageEnd:
-		s.islDown = false
+		l := &s.links[e.who]
+		l.down = false
 		if s.tr != nil {
 			s.tr.Record(trace.Event{T: s.now, Kind: trace.OutageEnd,
-				Node: -1, Cause: s.outageCause})
+				Node: -1, Cause: l.outageName, Edge: l.label})
 		}
-		s.attemptISL()
+		s.attemptISL(e.who)
 
 	case evWorkerDeath:
 		w := &s.workers[e.who]
@@ -534,6 +804,7 @@ func (s *simulator) step() bool {
 		if s.tr != nil {
 			s.tr.Record(trace.Event{T: s.now, Kind: trace.NodeDeath, Node: e.who})
 		}
+		si := s.workerSudc[e.who]
 		if w.busy {
 			// The batch is stranded: return its frames to the head of the
 			// queue for re-dispatch.
@@ -548,17 +819,18 @@ func (s *simulator) step() bool {
 						Frame: f.id, Node: -1, Cause: cause})
 				}
 			}
+			in := &s.sudcs[si].input
 			for i := len(w.batch) - 1; i >= 0; i-- {
-				s.inputQueue.pushFront(w.batch[i])
+				in.pushFront(w.batch[i])
 			}
-			if s.inputQueue.len() > s.stats.MaxInputQueue {
-				s.stats.MaxInputQueue = s.inputQueue.len()
+			if in.len() > s.stats.MaxInputQueue {
+				s.stats.MaxInputQueue = in.len()
 			}
 			s.putBatch(w.batch)
 			w.batch = nil
 		}
 		s.recount()
-		s.dispatch(false)
+		s.dispatch(si, false)
 
 	case evSEFIStart:
 		w := &s.workers[e.who]
@@ -589,7 +861,7 @@ func (s *simulator) step() bool {
 			s.tr.Record(trace.Event{T: s.now, Kind: trace.SEFIEnd, Node: e.who})
 		}
 		s.recount()
-		s.dispatch(false)
+		s.dispatch(s.workerSudc[e.who], false)
 
 	case evBatchDone:
 		w := &s.workers[e.who]
@@ -621,13 +893,12 @@ func (s *simulator) step() bool {
 		}
 		s.putBatch(w.batch)
 		w.batch = nil
-		s.dispatch(false)
+		s.dispatch(s.workerSudc[e.who], false)
 
 	case evBatchingOut:
-		s.timeoutArmed = false
-		s.dispatch(true)
+		s.sudcs[e.who].timeoutArmed = false
+		s.dispatch(e.who, true)
 	}
-	return true
 }
 
 // finish drains the sampling grid, closes the availability integral, and
@@ -651,12 +922,21 @@ func (s *simulator) finish() Stats {
 		stats.MeanLatency = time.Duration(sum / float64(len(s.latencies)) * float64(time.Second))
 		stats.P95Latency = time.Duration(s.latencies[int(float64(len(s.latencies))*0.95)] * float64(time.Second))
 	}
-	stats.ISLUtilization = units.Clamp(s.islBusySum/s.horizon, 0, 1)
-	stats.WorkerUtilization = units.Clamp(s.busySum/(s.horizon*float64(s.c.Workers)), 0, 1)
+	var islBusy, islDown float64
+	for i := range s.links {
+		islBusy += s.links[i].busySum
+		islDown += s.links[i].downSum
+	}
+	if len(s.links) > 0 {
+		stats.ISLUtilization = units.Clamp(islBusy/(s.horizon*float64(len(s.links))), 0, 1)
+	}
+	if s.totalWorkers > 0 {
+		stats.WorkerUtilization = units.Clamp(s.busySum/(s.horizon*float64(s.totalWorkers)), 0, 1)
+	}
 	stats.ComputeEnergy = units.Energy(s.busySum * float64(s.c.WorkerPower))
-	stats.KeptUp = stats.Backlog <= 2*s.c.BatchSize*s.c.Workers
+	stats.KeptUp = stats.Backlog <= 2*s.c.BatchSize*s.totalWorkers
 	stats.WorkerDowntime = time.Duration(s.downWS * float64(time.Second))
-	stats.ISLDowntime = time.Duration(s.islDownSum * float64(time.Second))
+	stats.ISLDowntime = time.Duration(islDown * float64(time.Second))
 	stats.DegradedFraction = units.Clamp(s.degradedTime/s.horizon, 0, 1)
 	stats.Availability = units.Clamp(s.upTime/s.horizon, 0, 1)
 	if s.rec != nil {

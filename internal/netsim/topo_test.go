@@ -1,0 +1,265 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sudc/internal/faults"
+	"sudc/internal/obs"
+	"sudc/internal/topo"
+	"sudc/internal/units"
+	"sudc/internal/workload"
+)
+
+// topoFaults is a scenario exercising all three fault processes at
+// rates that bite within a 30-minute run.
+var topoFaults = faults.Scenario{
+	NodeMTTF:          3 * time.Hour,
+	SEFIMTBE:          2 * time.Hour,
+	SEFIRecovery:      5 * time.Minute,
+	ISLOutageMTBF:     time.Hour,
+	ISLOutageDuration: 2 * time.Minute,
+}
+
+// conserve checks the frame-conservation identity on merged stats.
+func conserve(t *testing.T, s Stats) {
+	t.Helper()
+	if got := s.FramesProcessed + s.FramesShed + s.FramesLost + s.Backlog; got != s.FramesGenerated {
+		t.Errorf("conservation broken: processed+shed+lost+backlog = %d, generated = %d", got, s.FramesGenerated)
+	}
+}
+
+func TestStarTopologyMatchesLegacy(t *testing.T) {
+	// The explicit Star graph must reproduce the legacy implicit star
+	// exactly — same Stats, same observability stream — because both
+	// compile to one source, one zero-delay link, and one SµDC fed by
+	// the same RNG stream. Faulted and fault-free.
+	for _, tc := range []struct {
+		name   string
+		faults faults.Scenario
+	}{
+		{"fault-free", faults.Scenario{}},
+		{"faulted", topoFaults},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			legacy := DefaultConfig(workload.Suite[0])
+			legacy.Duration = time.Hour
+			legacy.Faults = tc.faults
+			legacy.RetryLimit = 4
+			legacy.ShedThreshold = 200
+
+			star := TopologyConfig(workload.Suite[0], topo.Star(legacy.Constellation.Satellites, legacy.Workers))
+			star.Duration = legacy.Duration
+			star.Faults = tc.faults
+			star.RetryLimit = legacy.RetryLimit
+			star.ShedThreshold = legacy.ShedThreshold
+
+			lreg, treg := obs.New(), obs.New()
+			legacy.Obs = lreg
+			star.Obs = treg
+			ls, err := Run(legacy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts, err := Run(star)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ls != ts {
+				t.Errorf("stats differ:\n legacy %+v\n star   %+v", ls, ts)
+			}
+			if l, s := lreg.Snapshot().String(), treg.Snapshot().String(); l != s {
+				t.Error("observability snapshots differ between legacy and Star topology")
+			}
+			conserve(t, ts)
+		})
+	}
+}
+
+func TestWalkerCrossCellTraffic(t *testing.T) {
+	// Walker with an SµDC every other plane: half the planes relay all
+	// their frames across cell boundaries, so the sharded runner must
+	// carry real cross-cell traffic and still conserve frames.
+	g, err := topo.Walker(4, 16, 8, 2, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := TopologyConfig(workload.Suite[0], g)
+	c.Duration = 30 * time.Minute
+	s, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conserve(t, s)
+	if s.CrossShardFrames == 0 {
+		t.Error("no cross-shard frames despite relay planes")
+	}
+	// Every generated frame from the two relay planes crosses exactly
+	// one boundary, and no others do.
+	if want := s.FramesGenerated / 2; s.CrossShardFrames < want*9/10 || s.CrossShardFrames > want {
+		t.Errorf("cross-shard frames = %d, want ≈ half of %d", s.CrossShardFrames, s.FramesGenerated)
+	}
+	if s.FramesProcessed == 0 || !s.KeptUp {
+		t.Errorf("relay planes not being served: %+v", s)
+	}
+}
+
+func TestShardCountInvariance(t *testing.T) {
+	// The tentpole determinism gate at package level: Stats are
+	// byte-identical for shard counts 1, 2, and 8 (the root-level
+	// determinism test additionally pins obs and trace bytes).
+	g, err := topo.Walker(4, 16, 8, 2, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := TopologyConfig(workload.Suite[0], g)
+	c.Duration = 30 * time.Minute
+	c.Faults = topoFaults
+	c.RetryLimit = 4
+	c.ShedThreshold = 200
+	c.Shards = 1
+	ref, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range []int{2, 8} {
+		cc := c
+		cc.Shards = sh
+		s, err := Run(cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != ref {
+			t.Errorf("shards=%d stats differ:\n ref %+v\n got %+v", sh, ref, s)
+		}
+	}
+}
+
+func TestClustersPerEdgeObservability(t *testing.T) {
+	// Dense clusters give every satellite its own FSO link: the
+	// per-edge queue-depth series must appear one per edge under each
+	// cell's scope.
+	g, err := topo.Clusters(2, 4, 4, units.GbpsOf(10), 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := TopologyConfig(workload.Suite[0], g)
+	c.Duration = 30 * time.Minute
+	reg := obs.New()
+	c.Obs = reg
+	s, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conserve(t, s)
+	if s.CrossShardFrames != 0 {
+		t.Errorf("independent clusters produced %d cross-shard frames", s.CrossShardFrames)
+	}
+	series := map[string]int{}
+	for _, sv := range reg.Snapshot().Series {
+		series[sv.Name] = len(sv.Points)
+	}
+	for _, name := range []string{
+		"c000/isl/c00/sat00-c00/hub",
+		"c000/isl/c00/sat03-c00/hub",
+		"c001/isl/c01/sat00-c01/hub",
+	} {
+		if series[name] == 0 {
+			t.Errorf("per-edge series %q missing from snapshot", name)
+		}
+	}
+}
+
+func TestRelayCellsCarryNoWorkers(t *testing.T) {
+	// An SµDC-less relay plane has zero workers; its availability must
+	// not drag the merged availability (weight zero), and its frames
+	// must still be processed elsewhere.
+	g, err := topo.Walker(2, 8, 8, 2, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := TopologyConfig(workload.Suite[0], g)
+	c.Duration = 30 * time.Minute
+	s, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conserve(t, s)
+	if s.Availability != 1 {
+		t.Errorf("fault-free availability = %v, want 1 (relay cell must weigh zero)", s.Availability)
+	}
+	if s.FramesProcessed == 0 {
+		t.Error("relay plane frames never processed")
+	}
+}
+
+func TestTopologyConfigValidation(t *testing.T) {
+	g := topo.Star(4, 2)
+	c := TopologyConfig(workload.Suite[0], g)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid topology config rejected: %v", err)
+	}
+	bad := c
+	bad.NeedWorkers = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("NeedWorkers accepted in topology mode")
+	}
+	bad = c
+	bad.Shards = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	bad = c
+	bad.Topology = &topo.Graph{}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := RunWithRand(c, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("RunWithRand accepted a topology config")
+	}
+}
+
+// TestCrossShardWindowZeroAllocs pins the cross-shard message path
+// allocation-free in steady state: once the outbox, pending buffer,
+// arrival slots, and per-cell arenas are warm, a synchronization
+// window performs zero allocations (single-goroutine execution; the
+// fan-out path additionally pays par's fixed goroutine setup).
+func TestCrossShardWindowZeroAllocs(t *testing.T) {
+	g, err := topo.Walker(4, 16, 8, 2, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := TopologyConfig(workload.Suite[0], g)
+	c.Duration = 12 * time.Hour // long enough that measurement never hits the horizon
+	c.Shards = 1
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plans, err := compile(c.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := newShardRunner(c, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if !r.window() {
+			t.Fatal("run ended during warm-up")
+		}
+	}
+	if r.sims[0].crossRecv == 0 && r.sims[1].crossRecv == 0 {
+		t.Fatal("warm-up produced no cross-shard traffic")
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		for i := 0; i < 10; i++ {
+			if !r.window() {
+				t.Fatal("run ended mid-measurement")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state window allocates %.2f times per 10 windows, want 0", avg)
+	}
+}

@@ -188,12 +188,18 @@ func scopeChrome(pid int, scope string, events []Event) []chromeEvent {
 	flowID := func(frame int64) string { return fmt.Sprintf("%s/f%d", scope, frame) }
 
 	var (
-		sendStart   = map[int64]float64{} // frame -> in-flight transfer start
-		computeOpen = map[int]openBatch{} // node -> open batch slice
-		outageOpen  = -1.0
-		outageCause string
+		sendStart   = map[int64]float64{}     // frame -> in-flight transfer start
+		computeOpen = map[int]openBatch{}     // node -> open batch slice
+		outages     = map[string]openOutage{} // edge label ("" = legacy ISL) -> open window
 		lastT       float64
 	)
+	outageArgs := func(ow openOutage, edge string) map[string]any {
+		args := map[string]any{"cause": ow.cause}
+		if edge != "" {
+			args["edge"] = edge
+		}
+		return args
+	}
 	for _, e := range events {
 		if e.T > lastT {
 			lastT = e.T
@@ -222,11 +228,20 @@ func scopeChrome(pid int, scope string, events []Event) []chromeEvent {
 				ev.Name = fmt.Sprintf("xfer f%d (aborted)", e.Frame)
 				ev.Args = map[string]any{"cause": e.Cause}
 			}
+			if e.Edge != "" {
+				if ev.Args == nil {
+					ev.Args = map[string]any{}
+				}
+				ev.Args["edge"] = e.Edge
+			}
 			out = append(out, ev)
 		case Retry:
+			args := map[string]any{"attempt": e.Attempt, "backoff_s": e.Backoff, "cause": e.Cause}
+			if e.Edge != "" {
+				args["edge"] = e.Edge
+			}
 			out = append(out, chromeEvent{Name: fmt.Sprintf("retry f%d", e.Frame),
-				Ph: "i", Ts: ts, Pid: pid, Tid: tidISL, S: "t",
-				Args: map[string]any{"attempt": e.Attempt, "backoff_s": e.Backoff, "cause": e.Cause}})
+				Ph: "i", Ts: ts, Pid: pid, Tid: tidISL, S: "t", Args: args})
 		case Shed:
 			out = append(out, chromeEvent{Name: fmt.Sprintf("shed f%d", e.Frame),
 				Ph: "i", Ts: ts, Pid: pid, Tid: tidFrames, S: "t"})
@@ -270,26 +285,34 @@ func scopeChrome(pid int, scope string, events []Event) []chromeEvent {
 			out = append(out, chromeEvent{Name: "SEFI", Ph: "X", Ts: ts,
 				Dur: e.Dur * usPerSec, Pid: pid, Tid: worker(e.Node)})
 		case OutageStart:
-			outageOpen, outageCause = e.T, e.Cause
+			outages[e.Edge] = openOutage{start: e.T, cause: e.Cause}
 		case OutageEnd:
-			if outageOpen < 0 {
+			ow, ok := outages[e.Edge]
+			if !ok {
 				break
 			}
+			delete(outages, e.Edge)
 			out = append(out, chromeEvent{Name: "outage", Ph: "X",
-				Ts: outageOpen * usPerSec, Dur: (e.T - outageOpen) * usPerSec,
-				Pid: pid, Tid: tidISL, Args: map[string]any{"cause": outageCause}})
-			outageOpen = -1
+				Ts: ow.start * usPerSec, Dur: (e.T - ow.start) * usPerSec,
+				Pid: pid, Tid: tidISL, Args: outageArgs(ow, e.Edge)})
 		case SpanDone:
 			out = append(out, chromeEvent{Name: e.Name, Ph: "X",
 				Ts: (e.T - e.Dur) * usPerSec, Dur: e.Dur * usPerSec,
 				Pid: pid, Tid: tidFrames})
 		}
 	}
-	// Close windows still open at the end of the recording.
-	if outageOpen >= 0 {
+	// Close windows still open at the end of the recording, edges in
+	// sorted order for a deterministic export.
+	openEdges := make([]string, 0, len(outages))
+	for edge := range outages {
+		openEdges = append(openEdges, edge)
+	}
+	sort.Strings(openEdges)
+	for _, edge := range openEdges {
+		ow := outages[edge]
 		out = append(out, chromeEvent{Name: "outage", Ph: "X",
-			Ts: outageOpen * usPerSec, Dur: (lastT - outageOpen) * usPerSec,
-			Pid: pid, Tid: tidISL, Args: map[string]any{"cause": outageCause}})
+			Ts: ow.start * usPerSec, Dur: (lastT - ow.start) * usPerSec,
+			Pid: pid, Tid: tidISL, Args: outageArgs(ow, edge)})
 	}
 	nodes := make([]int, 0, len(computeOpen))
 	for n := range computeOpen {
@@ -308,4 +331,9 @@ func scopeChrome(pid int, scope string, events []Event) []chromeEvent {
 type openBatch struct {
 	start float64
 	n     int
+}
+
+type openOutage struct {
+	start float64
+	cause string
 }

@@ -153,6 +153,9 @@ type Event struct {
 	// Cause attributes the event to a fault window, e.g.
 	// "isl-outage#2" or "node-death#3".
 	Cause string `json:"c,omitempty"`
+	// Edge names the ISL link ("<from>-<to>") for edge-scoped events in
+	// topology mode; empty for the legacy single-link simulator.
+	Edge string `json:"e,omitempty"`
 	// Name is the span name (SpanDone).
 	Name string `json:"name,omitempty"`
 }

@@ -1,0 +1,115 @@
+package topo
+
+// Fuzz target for graph validation: build an arbitrary small graph
+// from fuzzer bytes and check Validate's postconditions — a graph that
+// passes validation has no dangling edges and every Source node's
+// route chain reaches an SµDC sink without cycling. Validate rejecting
+// a graph is never a failure; the fuzzer hunts for graphs that pass
+// validation yet break the invariants the simulator's topology
+// compiler relies on.
+
+import (
+	"testing"
+	"time"
+
+	"sudc/internal/units"
+)
+
+// fuzzGraph decodes a byte string into a small graph: the first byte
+// picks the node count (1..12), each node consumes two bytes (kind and
+// cell/population mix), and each remaining byte pair becomes an edge.
+func fuzzGraph(data []byte) *Graph {
+	if len(data) == 0 {
+		return &Graph{}
+	}
+	n := int(data[0])%12 + 1
+	data = data[1:]
+	g := &Graph{}
+	names := [...]string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	for i := 0; i < n; i++ {
+		var b0, b1 byte
+		if len(data) > 0 {
+			b0 = data[0]
+			data = data[1:]
+		}
+		if len(data) > 0 {
+			b1 = data[0]
+			data = data[1:]
+		}
+		nd := Node{Name: names[i], Cell: int(b1 % 4)}
+		switch b0 % 3 {
+		case 0:
+			nd.Kind = Source
+			nd.Sats = int(b1%8) + 1
+		case 1:
+			nd.Kind = SuDC
+			nd.Workers = int(b1%8) + 1
+		case 2:
+			nd.Kind = Ground
+		}
+		g.Nodes = append(g.Nodes, nd)
+	}
+	for len(data) >= 2 {
+		e := Edge{
+			From:  int(data[0] % 16),
+			To:    int(data[1] % 16),
+			Delay: time.Duration(data[1]%5) * 50 * time.Millisecond,
+		}
+		if data[0]&0x10 != 0 {
+			e.Kind = Downlink
+		}
+		if data[0]&0x20 != 0 {
+			e.Rate = units.GbpsOf(float64(data[1]%30) + 1)
+		}
+		g.Edges = append(g.Edges, e)
+		data = data[2:]
+	}
+	return g
+}
+
+func FuzzValidate(f *testing.F) {
+	f.Add([]byte{2, 0, 1, 1, 2, 0, 1}) // source + sudc + one edge
+	f.Add([]byte{4, 0, 0, 1, 0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3})
+	f.Add([]byte{1, 1, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := fuzzGraph(data)
+		if g.Validate() != nil {
+			return // rejection is fine; the invariants below apply to accepted graphs
+		}
+		for i, e := range g.Edges {
+			if e.From < 0 || e.From >= len(g.Nodes) || e.To < 0 || e.To >= len(g.Nodes) {
+				t.Fatalf("validated graph has dangling edge %d: %+v", i, e)
+			}
+		}
+		routes, err := g.Routes()
+		if err != nil {
+			t.Fatalf("validated graph fails to route: %v", err)
+		}
+		if g.Cells() < 1 {
+			t.Fatalf("validated graph has %d cells", g.Cells())
+		}
+		for i, nd := range g.Nodes {
+			if nd.Kind != Source {
+				continue
+			}
+			// Walk the route chain: it must reach an SµDC sink in at most
+			// |V| hops (no cycles, no dead ends), with every hop's edge
+			// departing from the node that owns it.
+			u, steps := i, 0
+			for g.Nodes[u].Kind != SuDC {
+				ei := routes[u]
+				if ei < 0 || ei >= len(g.Edges) {
+					t.Fatalf("route chain from %q dead-ends at %q", nd.Name, g.Nodes[u].Name)
+				}
+				if g.Edges[ei].From != u {
+					t.Fatalf("route edge %d does not depart node %q", ei, g.Nodes[u].Name)
+				}
+				u = g.Edges[ei].To
+				if steps++; steps > len(g.Nodes) {
+					t.Fatalf("route chain from %q cycles", nd.Name)
+				}
+			}
+		}
+	})
+}

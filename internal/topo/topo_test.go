@@ -1,0 +1,233 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sudc/internal/units"
+)
+
+func TestStarShape(t *testing.T) {
+	g := Star(64, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Sats() != 64 || g.Workers() != 5 || g.Cells() != 1 {
+		t.Errorf("star: sats %d workers %d cells %d, want 64/5/1", g.Sats(), g.Workers(), g.Cells())
+	}
+	if len(g.Edges) != 1 || g.EdgeName(0) != "sats-sudc" {
+		t.Errorf("star edge = %q, want sats-sudc", g.EdgeName(0))
+	}
+	if _, ok := g.MinCrossDelay(); ok {
+		t.Error("single-cell star reports a cross-cell delay")
+	}
+}
+
+func TestWalkerShape(t *testing.T) {
+	g, err := Walker(6, 32, 8, 2, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Cells() != 6 {
+		t.Errorf("cells = %d, want 6 (one per plane)", g.Cells())
+	}
+	if g.Sats() != 6*32 {
+		t.Errorf("sats = %d, want %d", g.Sats(), 6*32)
+	}
+	// SµDCs in planes 0, 2, 4.
+	if g.Workers() != 3*8 {
+		t.Errorf("workers = %d, want %d", g.Workers(), 3*8)
+	}
+	w, ok := g.MinCrossDelay()
+	if !ok || w != 200*time.Millisecond {
+		t.Errorf("min cross delay = %v/%v, want 200ms/true", w, ok)
+	}
+	// Every plane's source must route somewhere; SµDC-less planes route
+	// around the ring.
+	routes, err := g.Routes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, nd := range g.Nodes {
+		if nd.Kind == Source && routes[i] < 0 {
+			t.Errorf("source %s has no route", nd.Name)
+		}
+	}
+}
+
+func TestWalkerTwoPlanesHasNoDuplicateRingEdges(t *testing.T) {
+	g, err := Walker(2, 4, 2, 2, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := range g.Edges {
+		name := g.EdgeName(i)
+		if seen[name] {
+			t.Errorf("duplicate edge %s", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestWalkerDegenerateSingle(t *testing.T) {
+	g, err := Walker(1, 64, 5, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Cells() != 1 || len(g.Edges) != 1 {
+		t.Errorf("1-plane walker: cells %d edges %d, want 1/1 (the star)", g.Cells(), len(g.Edges))
+	}
+}
+
+func TestWalkerRejectsBadArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() (*Graph, error)
+	}{
+		{"no planes", func() (*Graph, error) { return Walker(0, 1, 1, 1, 0) }},
+		{"no sats", func() (*Graph, error) { return Walker(2, 0, 1, 1, time.Second) }},
+		{"no workers", func() (*Graph, error) { return Walker(2, 1, 0, 1, time.Second) }},
+		{"sudcEvery too big", func() (*Graph, error) { return Walker(2, 1, 1, 3, time.Second) }},
+		{"ring without delay", func() (*Graph, error) { return Walker(4, 1, 1, 2, 0) }},
+	}
+	for _, tc := range cases {
+		if _, err := tc.fn(); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestClustersShape(t *testing.T) {
+	g, err := Clusters(3, 8, 4, units.GbpsOf(10), 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Cells() != 3 || g.Sats() != 24 || g.Workers() != 12 {
+		t.Errorf("clusters: cells %d sats %d workers %d, want 3/24/12", g.Cells(), g.Sats(), g.Workers())
+	}
+	if len(g.Edges) != 24 {
+		t.Errorf("edges = %d, want one per satellite (24)", len(g.Edges))
+	}
+	if _, ok := g.MinCrossDelay(); ok {
+		t.Error("independent clusters report a cross-cell delay")
+	}
+	if g.EdgeName(0) != "c00/sat00-c00/hub" {
+		t.Errorf("edge name = %q", g.EdgeName(0))
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := func() *Graph { return Star(4, 2) }
+	cases := []struct {
+		name string
+		mut  func(*Graph)
+		want string
+	}{
+		{"empty", func(g *Graph) { g.Nodes = nil; g.Edges = nil }, "no nodes"},
+		{"dangling edge", func(g *Graph) { g.Edges[0].To = 9 }, "dangles"},
+		{"self loop", func(g *Graph) { g.Edges[0].To = 0 }, "self-loop"},
+		{"dup name", func(g *Graph) { g.Nodes[1].Name = "sats" }, "duplicate"},
+		{"unnamed", func(g *Graph) { g.Nodes[0].Name = "" }, "no name"},
+		{"negative cell", func(g *Graph) { g.Nodes[0].Cell = -1 }, "negative cell"},
+		{"gap cell", func(g *Graph) { g.Nodes[1].Cell = 2 }, "empty"},
+		{"no sats", func(g *Graph) { g.Nodes[0].Sats = 0 }, "satellite"},
+		{"no workers", func(g *Graph) { g.Nodes[1].Workers = 0 }, "worker"},
+		{"no sudc", func(g *Graph) { g.Nodes[1].Kind = Ground; g.Edges = nil }, "no SµDC"},
+		{"negative rate", func(g *Graph) { g.Edges[0].Rate = -1 }, "negative rate"},
+		{"negative delay", func(g *Graph) { g.Edges[0].Delay = -time.Second }, "negative delay"},
+		{"unroutable source", func(g *Graph) { g.Edges = nil }, "cannot reach"},
+	}
+	for _, tc := range cases {
+		g := base()
+		tc.mut(g)
+		err := g.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateRejectsZeroDelayCrossCellEdge(t *testing.T) {
+	g := &Graph{
+		Nodes: []Node{
+			{Name: "a", Kind: Source, Cell: 0, Sats: 1},
+			{Name: "b", Kind: SuDC, Cell: 1, Workers: 1},
+		},
+		Edges: []Edge{{From: 0, To: 1, Kind: ISL}},
+	}
+	err := g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "positive delay") {
+		t.Errorf("err = %v, want the conservative-lookahead complaint", err)
+	}
+	g.Edges[0].Delay = time.Millisecond
+	if err := g.Validate(); err != nil {
+		t.Errorf("with delay: %v", err)
+	}
+}
+
+func TestRoutesPreferNearestSuDC(t *testing.T) {
+	// A relay chain: s0 → s1 → sudc. s0 must route via s1; the route
+	// edge of each source must depart from that source.
+	g := &Graph{
+		Nodes: []Node{
+			{Name: "s0", Kind: Source, Cell: 0, Sats: 1},
+			{Name: "s1", Kind: Source, Cell: 0, Sats: 1},
+			{Name: "dc", Kind: SuDC, Cell: 0, Workers: 1},
+		},
+		Edges: []Edge{
+			{From: 0, To: 1, Kind: ISL},
+			{From: 1, To: 2, Kind: ISL},
+		},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	routes, err := g.Routes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routes[0] != 0 || routes[1] != 1 {
+		t.Errorf("routes = %v, want [0 1 -1]", routes)
+	}
+	if routes[2] != -1 {
+		t.Errorf("SµDC route = %d, want -1", routes[2])
+	}
+}
+
+func TestAddDownlink(t *testing.T) {
+	g := Star(4, 2)
+	if err := g.AddDownlink("sudc", "gs-svalbard", units.GbpsOf(2), 3*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 3 || g.Nodes[2].Kind != Ground {
+		t.Fatalf("ground node not created: %+v", g.Nodes)
+	}
+	if err := g.AddDownlink("nope", "gs", 0, 0); err == nil {
+		t.Error("unknown SµDC accepted")
+	}
+	if err := g.AddDownlink("sudc", "sats", 0, 0); err == nil {
+		t.Error("non-ground target accepted")
+	}
+	// ISL edges must not terminate at the ground station.
+	g.Edges = append(g.Edges, Edge{From: 0, To: 2, Kind: ISL})
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "ground") {
+		t.Errorf("ISL into ground: err = %v", err)
+	}
+}
