@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"sudc/internal/accel"
+	"sudc/internal/degrade"
 	"sudc/internal/dse"
 	"sudc/internal/experiments"
 	"sudc/internal/faults"
@@ -270,6 +271,30 @@ func BenchmarkNetsimSharded(b *testing.B) {
 
 // BenchmarkNetsimFaulted measures the same run with every fault process
 // active.
+// BenchmarkNetsimDegraded is BenchmarkNetsimFaulted with the full-
+// severity COTS degradation schedule layered on top: thermal
+// throttling in sunlight, the eclipse brownout with worker re-dispatch,
+// and the temperature-modulated SEFI stream. The baseline lives in
+// BENCH_degrade.json; the CI gate also pins the disabled-path overhead
+// (BenchmarkNetsim is unchanged by the nil fast path).
+func BenchmarkNetsimDegraded(b *testing.B) {
+	c := netsim.DefaultConfig(workload.Suite[0])
+	c.Faults = faults.Scenario{
+		NodeMTTF:          8 * time.Hour,
+		SEFIMTBE:          30 * time.Minute,
+		SEFIRecovery:      30 * time.Second,
+		ISLOutageMTBF:     30 * time.Minute,
+		ISLOutageDuration: time.Minute,
+	}
+	p := degrade.COTSProfile(1)
+	c.Degrade = &p
+	for i := 0; i < b.N; i++ {
+		if _, err := netsim.Run(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkNetsimFaulted(b *testing.B) {
 	c := netsim.DefaultConfig(workload.Suite[0])
 	c.Faults = faults.Scenario{

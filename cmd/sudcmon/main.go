@@ -33,6 +33,9 @@
 //	-spares n        spare workers beyond the sized need (default 0)
 //	-retries n       ISL retry budget per frame, 0 = unlimited (default 8)
 //	-shed n          input-queue length that triggers load shedding
+//	-throttle s      COTS degradation severity 0..1 (0 = off)
+//	-cots name       hardware calibration: xing-cots, integrated-panel
+//	-eclipse-frac f  eclipse fraction override (< 0 = orbit-derived)
 //
 // Analysis flags:
 //
@@ -53,6 +56,7 @@ import (
 	"os"
 	"time"
 
+	"sudc/internal/degrade"
 	"sudc/internal/faults"
 	"sudc/internal/netsim"
 	"sudc/internal/obs/latency"
@@ -93,6 +97,9 @@ func run(args []string, out io.Writer) error {
 	spares := fs.Int("spares", 0, "spare workers beyond the sized need")
 	retries := fs.Int("retries", 8, "ISL retry budget per frame (0 = unlimited)")
 	shed := fs.Int("shed", 0, "input-queue length that triggers load shedding (0 = off, -1 = shed everything)")
+	throttle := fs.Float64("throttle", 0, "COTS degradation severity 0..1 (0 = off)")
+	cots := fs.String("cots", "xing-cots", "COTS hardware calibration name")
+	eclipseFrac := fs.Float64("eclipse-frac", -1, "eclipse fraction override (< 0 = orbit-derived)")
 	load := fs.String("load", "", "analyze a saved JSONL recording instead of running a scenario")
 	topK := fs.Int("top", 5, "detail the k slowest frames")
 	jsonlOut := fs.String("jsonl", "", "save the recording as JSONL")
@@ -169,6 +176,16 @@ func run(args []string, out io.Writer) error {
 		}
 		cfg.RetryLimit = *retries
 		cfg.ShedThreshold = *shed
+		if *throttle > 0 {
+			cal, err := degrade.CalibrationByName(*cots)
+			if err != nil {
+				return err
+			}
+			p := degrade.COTSProfile(*throttle)
+			p.Cal = cal
+			p.EclipseFraction = *eclipseFrac
+			cfg.Degrade = &p
+		}
 		rec = trace.New(0)
 		cfg.Trace = rec
 		s, err := netsim.Run(cfg)
@@ -343,6 +360,12 @@ func describe(e trace.Event) string {
 		return "shed from input queue"
 	case trace.Lost:
 		return fmt.Sprintf("lost after %d attempts (%s)", e.Attempt, e.Cause)
+	case trace.Throttle:
+		return fmt.Sprintf("thermal throttle ×%.2f for %.1fs", e.Mult, e.Dur)
+	case trace.BrownoutStart:
+		return fmt.Sprintf("eclipse brownout parks %d workers (%s)", e.N, e.Cause)
+	case trace.BrownoutEnd:
+		return fmt.Sprintf("brownout ends, %d workers restored", e.N)
 	default:
 		return e.Kind.String()
 	}

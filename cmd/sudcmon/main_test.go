@@ -135,3 +135,38 @@ func TestBadInputs(t *testing.T) {
 		t.Error("malformed trace must error")
 	}
 }
+
+func TestDegradedScenarioReportsEnvironmentIntervals(t *testing.T) {
+	// A throttled run over a full orbit must surface the environmental
+	// windows next to the fault windows: throttle intervals with the
+	// severity-scaled multiplier and the eclipse brownout.
+	out := runMon(t, "-satellites", "2", "-power", "2", "-hours", "2",
+		"-mttf", "4", "-seed", "7", "-top", "1", "-throttle", "1")
+	for _, want := range []string{"throttle", "brownout", "availability from trace"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("degraded report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDegradedRoundTripKeepsEnvironmentIntervals(t *testing.T) {
+	// The brownout/throttle events survive the JSONL round trip, so a
+	// saved degraded recording reloads with the same interval kinds.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "deg.jsonl")
+	runMon(t, "-satellites", "2", "-power", "2", "-hours", "2",
+		"-seed", "7", "-top", "0", "-throttle", "0.8", "-jsonl", path)
+	out := runMon(t, "-load", path, "-top", "0")
+	for _, want := range []string{"throttle", "brownout"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("reloaded report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownCalibrationRejected(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-throttle", "1", "-cots", "unobtainium", "-hours", "0.1"}, &b); err == nil {
+		t.Error("unknown calibration must error")
+	}
+}

@@ -39,6 +39,22 @@
 //	-shed n          input-queue length that triggers load shedding
 //	                 (0 = off, -1 = shed every queued frame)
 //
+// Environment-coupled degradation (COTS-calibrated thermal throttling,
+// eclipse power brownouts; see internal/degrade):
+//
+//	-throttle s      degradation severity 0..1; > 0 layers the COTS
+//	                 schedule over the run (0 = off)
+//	-cots name       hardware calibration: xing-cots, integrated-panel
+//	                 (default xing-cots)
+//	-eclipse-frac f  eclipse fraction override; < 0 derives it from the
+//	                 default EO orbit (default -1)
+//	-throttle-shed   scale the shed threshold down with the active
+//	                 throttle multiplier
+//	-defer-eclipse   defer partial-batch timeout dispatches past the
+//	                 eclipse window
+//	-horizon-years y run the compressed-horizon survivability program
+//	                 instead of the DES (fleet lifecycle × degradation)
+//
 // Observability:
 //
 //	-metrics         print the run's metric snapshot (counters, queue-depth /
@@ -57,6 +73,7 @@ import (
 	"os"
 	"time"
 
+	"sudc/internal/degrade"
 	"sudc/internal/faults"
 	"sudc/internal/netsim"
 	"sudc/internal/obs"
@@ -97,6 +114,12 @@ func run(args []string, out io.Writer) error {
 	spares := fs.Int("spares", 0, "spare workers beyond the sized need")
 	retries := fs.Int("retries", 8, "ISL retry budget per frame (0 = unlimited)")
 	shed := fs.Int("shed", 0, "input-queue length that triggers load shedding (0 = off, -1 = shed everything)")
+	throttle := fs.Float64("throttle", 0, "degradation severity 0..1 (0 = off)")
+	cots := fs.String("cots", "xing-cots", "COTS hardware calibration name")
+	eclipseFrac := fs.Float64("eclipse-frac", -1, "eclipse fraction override (< 0 = orbit-derived)")
+	throttleShed := fs.Bool("throttle-shed", false, "scale the shed threshold with the throttle multiplier")
+	deferEclipse := fs.Bool("defer-eclipse", false, "defer partial-batch timeouts past the eclipse window")
+	horizonYears := fs.Float64("horizon-years", 0, "run the compressed-horizon survivability program over this many years")
 	metrics := fs.Bool("metrics", false, "print the run's metric snapshot")
 	traceSpans := fs.Bool("trace", false, "stream span trace lines as stages complete")
 	traceOut := fs.String("trace-out", "", "write the frame-lineage flight recording to this JSONL file")
@@ -123,6 +146,14 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "pprof: serving on http://%s/debug/pprof/\n", addr)
+	}
+
+	cal, err := degrade.CalibrationByName(*cots)
+	if err != nil {
+		return err
+	}
+	if *horizonYears > 0 {
+		return runSurvivability(out, cal, *throttle, *eclipseFrac, *horizonYears, *seed)
 	}
 
 	app, err := workload.ByName(*appName)
@@ -174,6 +205,14 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg.RetryLimit = *retries
 	cfg.ShedThreshold = *shed
+	if *throttle > 0 || *throttleShed || *deferEclipse {
+		p := degrade.COTSProfile(*throttle)
+		p.Cal = cal
+		p.EclipseFraction = *eclipseFrac
+		cfg.Degrade = &p
+		cfg.ThrottleShed = *throttleShed
+		cfg.DeferInEclipse = *deferEclipse
+	}
 	cfg.Obs = reg.Scope("netsim")
 	cfg.Trace = rec
 
@@ -219,6 +258,15 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  frames shed          %d\n", s.FramesShed)
 		fmt.Fprintf(out, "  frames lost          %d\n", s.FramesLost)
 	}
+	if cfg.Degrade != nil {
+		fmt.Fprintf(out, "\n  degradation (%s, severity %.2f)\n", cal.Name, *throttle)
+		fmt.Fprintf(out, "  mean rate mult       %.3f\n", s.MeanRateMult)
+		fmt.Fprintf(out, "  throttled time       %v (%.1f%%)\n",
+			s.ThrottledTime.Truncate(time.Second), 100*s.ThrottledTime.Seconds()/cfg.Duration.Seconds())
+		fmt.Fprintf(out, "  brownout time        %v (%.1f%%)\n",
+			s.BrownoutTime.Truncate(time.Second), 100*s.BrownoutTime.Seconds()/cfg.Duration.Seconds())
+		fmt.Fprintf(out, "  batches deferred     %d\n", s.BatchesDeferred)
+	}
 	if s.KeptUp {
 		fmt.Fprintln(out, "\n  → the SµDC keeps up with the constellation")
 	} else {
@@ -232,6 +280,34 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "\ntrace: wrote %d events to %s\n", rec.TotalLen(), *traceOut)
+	}
+	return nil
+}
+
+// runSurvivability executes the compressed-horizon program: the
+// degradation schedule collapsed to its orbit-averaged capacity factor
+// and replayed through the fleet-maintenance lifecycle.
+func runSurvivability(out io.Writer, cal degrade.Calibration, severity, eclipseFrac, years float64, seed int64) error {
+	cfg := degrade.DefaultSurvivalConfig(severity)
+	cfg.Profile.Cal = cal
+	cfg.Profile.EclipseFraction = eclipseFrac
+	cfg.Policy.Horizon = units.Years(years)
+	cfg.Seed = seed
+	r, err := degrade.Survive(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "survivability: %.0f-year program, %d+%d satellites, %s at severity %.2f\n\n",
+		years, cfg.Policy.Target, cfg.Policy.Spares, cal.Name, severity)
+	fmt.Fprintf(out, "  capacity factor      %.3f\n", r.CapacityFactor)
+	fmt.Fprintf(out, "  units built          %.1f\n", r.UnitsBuilt)
+	fmt.Fprintf(out, "  head-count avail     %.1f%%\n", 100*r.Availability)
+	fmt.Fprintf(out, "  capacity avail       %.1f%%\n", 100*r.CapacityAvailability)
+	fmt.Fprintf(out, "  mean fleet capacity  %.2f\n\n", r.MeanCapacity)
+	fmt.Fprintln(out, "  year  mean operational  availability  mean capacity")
+	for _, y := range r.Years {
+		fmt.Fprintf(out, "  %4d  %16.2f  %11.1f%%  %13.2f\n",
+			y.Year, y.MeanOperational, 100*y.Availability, y.MeanCapacity)
 	}
 	return nil
 }

@@ -187,3 +187,52 @@ func TestBadFaultFlags(t *testing.T) {
 		t.Error("negative retries must error")
 	}
 }
+
+func TestThrottleFlagReportsDegradationBlock(t *testing.T) {
+	out := runSim(t, "-satellites", "2", "-hours", "4", "-throttle", "1")
+	for _, want := range []string{
+		"degradation (xing-cots, severity 1.00)",
+		"mean rate mult", "throttled time", "brownout time", "batches deferred",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("degradation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestThrottleOffOmitsDegradationBlock(t *testing.T) {
+	out := runSim(t, "-hours", "0.5")
+	if strings.Contains(out, "degradation (") {
+		t.Errorf("degradation block must be opt-in:\n%s", out)
+	}
+}
+
+func TestCalibrationFlag(t *testing.T) {
+	out := runSim(t, "-satellites", "2", "-hours", "4", "-throttle", "0.5", "-cots", "integrated-panel", "-eclipse-frac", "0.5")
+	if !strings.Contains(out, "degradation (integrated-panel, severity 0.50)") {
+		t.Errorf("calibration name missing:\n%s", out)
+	}
+	var b strings.Builder
+	if err := run([]string{"-throttle", "1", "-cots", "unobtainium"}, &b); err == nil {
+		t.Error("unknown calibration must error")
+	}
+	if err := run([]string{"-throttle", "2"}, &b); err == nil {
+		t.Error("severity above 1 must error")
+	}
+}
+
+func TestHorizonYearsRunsSurvivability(t *testing.T) {
+	out := runSim(t, "-horizon-years", "6", "-throttle", "0.8")
+	for _, want := range []string{
+		"survivability: 6-year program",
+		"capacity factor", "units built", "capacity avail",
+		"year  mean operational",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("survivability output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "frames generated") {
+		t.Error("survivability mode must not run the DES")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sudc/internal/constellation"
+	"sudc/internal/degrade"
 	"sudc/internal/experiments"
 	"sudc/internal/faults"
 	"sudc/internal/netsim"
@@ -117,6 +118,60 @@ func TestFaultInjectionInvariantUnderWorkerCount(t *testing.T) {
 	}
 }
 
+func TestDegradedRunInvariantUnderWorkerCount(t *testing.T) {
+	// The environment-coupled degradation engine extends the contract:
+	// the modulation schedule is compiled once from the config and
+	// replayed on the simulated clock, so a throttled, browned-out,
+	// fault-injected sweep must stay byte-identical — replica stats and
+	// merged metric snapshot — for any worker count. The 2-hour horizon
+	// spans a full default-EO orbit, so every replica crosses an
+	// eclipse brownout.
+	c := netsim.DefaultConfig(workload.Suite[0])
+	c.Constellation = constellation.Constellation{Satellites: 2, FramesPerMinute: 6}
+	c.Workers = 5
+	c.NeedWorkers = 4
+	c.BatchSize = 4
+	c.BatchTimeout = 30 * time.Second
+	c.Duration = 2 * time.Hour
+	c.Faults = faults.Scenario{
+		NodeMTTF:          2 * time.Hour,
+		SEFIMTBE:          20 * time.Minute,
+		SEFIRecovery:      30 * time.Second,
+		ISLOutageMTBF:     30 * time.Minute,
+		ISLOutageDuration: time.Minute,
+	}
+	c.Seed = 9
+	p := degrade.COTSProfile(0.75)
+	c.Degrade = &p
+
+	run := func(workers int) ([]netsim.Stats, string) {
+		reg := obs.New()
+		cc := c
+		cc.Obs = reg.Scope("netsim")
+		all, err := netsim.RunReplicas(cc, 12, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return all, reg.Snapshot().String()
+	}
+	refStats, refSnap := run(1)
+	if refStats[0].ThrottledTime == 0 || refStats[0].BrownoutTime == 0 {
+		t.Fatalf("degradation not exercised: %+v", refStats[0])
+	}
+	if !strings.Contains(refSnap, "netsim/r000/throttle/rate_mult") {
+		t.Fatalf("degradation series missing from snapshot:\n%.400s", refSnap)
+	}
+	for _, w := range []int{2, 8} {
+		stats, snap := run(w)
+		if !reflect.DeepEqual(refStats, stats) {
+			t.Errorf("workers=%d: degraded replica stats differ from workers=1", w)
+		}
+		if snap != refSnap {
+			t.Errorf("workers=%d: degraded metric snapshot differs from workers=1", w)
+		}
+	}
+}
+
 func TestObsSnapshotInvariantUnderWorkerCount(t *testing.T) {
 	// The observability stream extends the determinism contract: replica
 	// metrics are sampled on the simulated clock and written under
@@ -203,12 +258,21 @@ func TestTraceExportInvariantUnderWorkerCount(t *testing.T) {
 	faulted.RetryLimit = 3
 	faulted.ShedThreshold = 40
 
+	// The degraded scenario layers the COTS throttle/brownout schedule
+	// over the faulted one; the 2-hour horizon crosses an eclipse so
+	// the brownout re-dispatch path records events too.
+	degraded := faulted
+	degraded.Duration = 2 * time.Hour
+	cots := degrade.COTSProfile(0.75)
+	degraded.Degrade = &cots
+
 	for _, tc := range []struct {
 		name string
 		cfg  netsim.Config
 	}{
 		{"fault-free", base},
 		{"faulted", faulted},
+		{"degraded", degraded},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			refJSONL, refChrome := traceExports(t, tc.cfg, 1)
@@ -303,12 +367,18 @@ func TestShardedTopologyInvariantUnderShardCount(t *testing.T) {
 	faulted.RetryLimit = 3
 	faulted.ShedThreshold = 40
 
+	degraded := faulted
+	degraded.Duration = 2 * time.Hour
+	cots := degrade.COTSProfile(0.75)
+	degraded.Degrade = &cots
+
 	for _, tc := range []struct {
 		name string
 		cfg  netsim.Config
 	}{
 		{"fault-free", base},
 		{"faulted", faulted},
+		{"degraded", degraded},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			refStats, refSnap, refJSONL, refChrome := shardExports(t, tc.cfg, 1)

@@ -31,6 +31,8 @@ func Extensions() []Experiment {
 		{"Extension E6", "power × lifetime trade study Pareto front", ExtTradeStudy},
 		{"Extension E7", "overprovisioning under injected faults: DES vs analytic availability", ExtOverprovision},
 		{"Extension E8", "Walker topology scaling through the sharded conservative-lookahead DES", ExtShardedTopology},
+		{"Extension E9", "COTS degradation: throttle severity × eclipse fraction vs fault-only availability", ExtDegradation},
+		{"Extension E10", "compressed-horizon survivability under degradation and fleet lifecycle", ExtSurvivability},
 	}
 }
 

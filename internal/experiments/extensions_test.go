@@ -7,8 +7,8 @@ import (
 
 func TestAllExtensionsRun(t *testing.T) {
 	ext := Extensions()
-	if len(ext) != 8 {
-		t.Fatalf("have %d extensions, want 8", len(ext))
+	if len(ext) != 10 {
+		t.Fatalf("have %d extensions, want 10", len(ext))
 	}
 	for _, e := range ext {
 		tbl, err := e.Run()
@@ -31,7 +31,7 @@ func TestExtensionByID(t *testing.T) {
 	if _, err := ExtensionByID("Extension E1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ExtensionByID("Extension E9"); err == nil {
+	if _, err := ExtensionByID("Extension E99"); err == nil {
 		t.Error("unknown extension must error")
 	}
 }

@@ -23,6 +23,7 @@ package faults
 import (
 	"errors"
 	"math"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -110,6 +111,79 @@ type Schedule struct {
 // single-edge schedule is bit-identical to the pre-topology one.
 const islStream = 1 << 30
 
+// RateEnvelope is a piecewise-constant fault-intensity multiplier over
+// the horizon: the SEFI hang rate at time t is the scenario's base rate
+// times the multiplier of the segment containing t. Segments are
+// defined by ascending start times (Starts[0] must be 0) and their
+// multipliers (≥ 0). A nil envelope, or one whose multipliers are all
+// exactly 1, is the identity — BuildModulated then produces the exact
+// byte-identical schedule of BuildN.
+type RateEnvelope struct {
+	Starts []float64
+	Mults  []float64
+}
+
+// Validate reports envelope shape errors.
+func (e *RateEnvelope) Validate() error {
+	if e == nil {
+		return nil
+	}
+	if len(e.Starts) == 0 || len(e.Starts) != len(e.Mults) {
+		return errors.New("faults: envelope needs equal, non-empty Starts and Mults")
+	}
+	if e.Starts[0] != 0 {
+		return errors.New("faults: envelope must start at t=0")
+	}
+	for i, t := range e.Starts {
+		if math.IsNaN(t) || (i > 0 && t <= e.Starts[i-1]) {
+			return errors.New("faults: envelope starts must ascend")
+		}
+		if e.Mults[i] < 0 || math.IsNaN(e.Mults[i]) || math.IsInf(e.Mults[i], 0) {
+			return errors.New("faults: envelope multiplier out of range")
+		}
+	}
+	return nil
+}
+
+// identity reports whether the envelope leaves the base rate untouched.
+func (e *RateEnvelope) identity() bool {
+	if e == nil {
+		return true
+	}
+	for _, m := range e.Mults {
+		if m != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// at returns the multiplier active at time t (segments are half-open
+// [Starts[i], Starts[i+1])).
+func (e *RateEnvelope) at(t float64) float64 {
+	i := sort.SearchFloat64s(e.Starts, t)
+	// SearchFloat64s returns the first index with Starts[i] >= t; the
+	// active segment is the one before it unless t hits a start exactly.
+	if i == len(e.Starts) || e.Starts[i] > t {
+		i--
+	}
+	if i < 0 {
+		return e.Mults[0]
+	}
+	return e.Mults[i]
+}
+
+// max returns the envelope's peak multiplier.
+func (e *RateEnvelope) max() float64 {
+	m := 0.0
+	for _, v := range e.Mults {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
 // Build materializes the schedule for `nodes` nodes and a single ISL
 // over the horizon. See the package comment for the determinism
 // contract.
@@ -122,22 +196,41 @@ func Build(s Scenario, nodes int, horizon time.Duration, seed int64) (Schedule, 
 
 // BuildN materializes the schedule for `nodes` nodes and `edges` ISL
 // links over the horizon. Unlike Build it accepts zero nodes (a relay
-// cell owns links but no workers). The schedule is a pure function of
-// (Scenario, nodes, edges, horizon, seed): each edge's outage process
-// draws from its own forked stream, so a schedule built for more edges
-// extends — never perturbs — the smaller one.
+// cell owns links but no workers) and zero edges (a leaf cell owns
+// workers but no links); nodes=0 with edges=0 is the valid empty
+// schedule. The schedule is a pure function of (Scenario, nodes, edges,
+// horizon, seed): each edge's outage process draws from its own forked
+// stream, so a schedule built for more edges extends — never perturbs —
+// the smaller one.
 func BuildN(s Scenario, nodes, edges int, horizon time.Duration, seed int64) (Schedule, error) {
+	return BuildModulated(s, nodes, edges, horizon, seed, nil)
+}
+
+// BuildModulated is BuildN with a time-varying SEFI intensity: the hang
+// renewal process of every node is thinned against the envelope, so the
+// instantaneous hang rate is base × env(t) — the mechanism behind
+// temperature-modulated transient-fault rates. Node deaths and ISL
+// outages are not modulated. A nil or identity envelope reproduces the
+// unmodulated schedule byte for byte (the thinning path, which consumes
+// extra RNG draws, is never entered).
+func BuildModulated(s Scenario, nodes, edges int, horizon time.Duration, seed int64, env *RateEnvelope) (Schedule, error) {
 	if err := s.Validate(); err != nil {
 		return Schedule{}, err
 	}
 	if nodes < 0 {
 		return Schedule{}, errors.New("faults: negative node count")
 	}
-	if edges < 1 {
-		return Schedule{}, errors.New("faults: need at least one edge")
+	if edges < 0 {
+		return Schedule{}, errors.New("faults: negative edge count")
 	}
 	if horizon <= 0 {
 		return Schedule{}, errors.New("faults: horizon must be positive")
+	}
+	if err := env.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	if env.identity() {
+		env = nil
 	}
 	h := horizon.Seconds()
 	sched := Schedule{Deaths: make([]float64, nodes)}
@@ -153,11 +246,15 @@ func BuildN(s Scenario, nodes, edges int, horizon time.Duration, seed int64) (Sc
 		sched.Deaths[i] = death
 		if s.SEFIMTBE > 0 {
 			limit := math.Min(death, h)
-			for t := rng.ExpFloat64() * s.SEFIMTBE.Seconds(); t < limit; {
-				rec := rng.ExpFloat64() * s.SEFIRecovery.Seconds()
-				sched.Hangs = append(sched.Hangs, Hang{Node: i, At: t, Recovery: rec})
-				// Next hang cannot begin before this one recovers.
-				t += rec + rng.ExpFloat64()*s.SEFIMTBE.Seconds()
+			if env == nil {
+				for t := rng.ExpFloat64() * s.SEFIMTBE.Seconds(); t < limit; {
+					rec := rng.ExpFloat64() * s.SEFIRecovery.Seconds()
+					sched.Hangs = append(sched.Hangs, Hang{Node: i, At: t, Recovery: rec})
+					// Next hang cannot begin before this one recovers.
+					t += rec + rng.ExpFloat64()*s.SEFIMTBE.Seconds()
+				}
+			} else {
+				sched.Hangs = modulatedHangs(sched.Hangs, s, i, rng, limit, env)
 			}
 		}
 	}
@@ -184,6 +281,35 @@ func BuildN(s Scenario, nodes, edges int, horizon time.Duration, seed int64) (Sc
 		})
 	}
 	return sched, nil
+}
+
+// modulatedHangs draws node i's hang renewal process with hazard
+// rate base × env(t) via Lewis–Shedler thinning: candidates arrive at
+// the envelope's peak rate and are accepted with probability
+// env(t)/max. Recovery windows still suppress new hangs (the renewal
+// clock pauses while hung), matching the unmodulated process shape.
+func modulatedHangs(hangs []Hang, s Scenario, node int, rng *rand.Rand, limit float64, env *RateEnvelope) []Hang {
+	maxM := env.max()
+	if maxM <= 0 {
+		return hangs
+	}
+	mtbe := s.SEFIMTBE.Seconds()
+	t := 0.0
+	for {
+		// Next accepted hang time.
+		for {
+			t += rng.ExpFloat64() * mtbe / maxM
+			if t >= limit {
+				return hangs
+			}
+			if rng.Float64()*maxM < env.at(t) {
+				break
+			}
+		}
+		rec := rng.ExpFloat64() * s.SEFIRecovery.Seconds()
+		hangs = append(hangs, Hang{Node: node, At: t, Recovery: rec})
+		t += rec
+	}
 }
 
 // DeadBy returns how many nodes have permanently died by time t

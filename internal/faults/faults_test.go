@@ -171,6 +171,160 @@ func TestOutagesSortedNonOverlapping(t *testing.T) {
 	}
 }
 
+func TestBuildNEmptyShapes(t *testing.T) {
+	// Relay cells own links but no workers; leaf cells own workers but
+	// no links. Both shapes — and the fully empty one — must build.
+	tests := []struct {
+		name         string
+		nodes, edges int
+	}{
+		{"no nodes", 0, 3},
+		{"no edges", 5, 0},
+		{"empty", 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			sched, err := BuildN(scenario(), tt.nodes, tt.edges, 2*time.Hour, 9)
+			if err != nil {
+				t.Fatalf("BuildN(%d nodes, %d edges): %v", tt.nodes, tt.edges, err)
+			}
+			if len(sched.Deaths) != tt.nodes {
+				t.Errorf("got %d deaths, want %d", len(sched.Deaths), tt.nodes)
+			}
+			if tt.nodes == 0 && len(sched.Hangs) != 0 {
+				t.Errorf("no nodes must mean no hangs, got %d", len(sched.Hangs))
+			}
+			if tt.edges == 0 && len(sched.Outages) != 0 {
+				t.Errorf("no edges must mean no outages, got %d", len(sched.Outages))
+			}
+		})
+	}
+	if _, err := BuildN(scenario(), -1, 1, time.Hour, 1); err == nil {
+		t.Error("negative nodes must error")
+	}
+	if _, err := BuildN(scenario(), 1, -1, time.Hour, 1); err == nil {
+		t.Error("negative edges must error")
+	}
+}
+
+func TestEnvelopeValidate(t *testing.T) {
+	var nilEnv *RateEnvelope
+	if err := nilEnv.Validate(); err != nil {
+		t.Errorf("nil envelope must be valid: %v", err)
+	}
+	tests := []struct {
+		name string
+		env  RateEnvelope
+		ok   bool
+	}{
+		{"single segment", RateEnvelope{Starts: []float64{0}, Mults: []float64{2}}, true},
+		{"two segments", RateEnvelope{Starts: []float64{0, 10}, Mults: []float64{1, 3}}, true},
+		{"empty", RateEnvelope{}, false},
+		{"length mismatch", RateEnvelope{Starts: []float64{0, 1}, Mults: []float64{1}}, false},
+		{"nonzero origin", RateEnvelope{Starts: []float64{5}, Mults: []float64{1}}, false},
+		{"non-ascending", RateEnvelope{Starts: []float64{0, 10, 10}, Mults: []float64{1, 2, 3}}, false},
+		{"negative mult", RateEnvelope{Starts: []float64{0}, Mults: []float64{-1}}, false},
+		{"inf mult", RateEnvelope{Starts: []float64{0}, Mults: []float64{math.Inf(1)}}, false},
+	}
+	for _, tt := range tests {
+		err := tt.env.Validate()
+		if tt.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tt.name, err)
+		}
+		if !tt.ok && err == nil {
+			t.Errorf("%s: expected error", tt.name)
+		}
+	}
+}
+
+func TestBuildModulatedIdentity(t *testing.T) {
+	// A nil or all-ones envelope must reproduce BuildN byte for byte —
+	// the thinning path consumes extra RNG draws and must not engage.
+	base, err := BuildN(scenario(), 8, 2, 2*time.Hour, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaNil, err := BuildModulated(scenario(), 8, 2, 2*time.Hour, 21, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, viaNil) {
+		t.Error("nil envelope must match BuildN exactly")
+	}
+	ones := &RateEnvelope{Starts: []float64{0, 3600}, Mults: []float64{1, 1}}
+	viaOnes, err := BuildModulated(scenario(), 8, 2, 2*time.Hour, 21, ones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, viaOnes) {
+		t.Error("all-ones envelope must match BuildN exactly")
+	}
+}
+
+func TestBuildModulatedScalesHangRate(t *testing.T) {
+	// Doubling the envelope everywhere should roughly double the hang
+	// count; a zero envelope must suppress hangs entirely. Deaths and
+	// outages must be untouched by modulation.
+	s := scenario()
+	s.NodeMTTF = 0 // no censoring, cleaner rate comparison
+	base, err := BuildN(s, 64, 1, 8*time.Hour, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	double := &RateEnvelope{Starts: []float64{0}, Mults: []float64{2}}
+	hot, err := BuildModulated(s, 64, 1, 8*time.Hour, 33, double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(hot.Hangs)) / float64(len(base.Hangs))
+	// Recovery windows pause the clock in both, so the ratio undershoots
+	// 2 slightly; accept a broad band.
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("2× envelope hang ratio %.2f, want ≈2", ratio)
+	}
+	if !reflect.DeepEqual(base.Outages, hot.Outages) {
+		t.Error("modulation must not touch outages")
+	}
+	zero := &RateEnvelope{Starts: []float64{0}, Mults: []float64{0}}
+	cold, err := BuildModulated(s, 64, 1, 8*time.Hour, 33, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Hangs) != 0 {
+		t.Errorf("zero envelope must suppress hangs, got %d", len(cold.Hangs))
+	}
+}
+
+func TestBuildModulatedPostconditions(t *testing.T) {
+	// The modulated schedule obeys the same invariants as the base one:
+	// hangs sorted, bounded, before death, non-overlapping per node.
+	env := &RateEnvelope{Starts: []float64{0, 1800, 3600}, Mults: []float64{0.3, 2.5, 1}}
+	sched, err := BuildModulated(scenario(), 16, 2, 4*time.Hour, 13, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Hangs) == 0 {
+		t.Fatal("modulated 30-minute MTBE over 16 nodes × 4 h must produce hangs")
+	}
+	horizon := (4 * time.Hour).Seconds()
+	lastEnd := make(map[int]float64)
+	for i, hg := range sched.Hangs {
+		if hg.At < 0 || hg.At >= horizon {
+			t.Errorf("hang %d at %v outside [0, horizon)", i, hg.At)
+		}
+		if hg.At >= sched.Deaths[hg.Node] {
+			t.Errorf("hang %d scheduled after node %d death", i, hg.Node)
+		}
+		if i > 0 && sched.Hangs[i-1].At > hg.At {
+			t.Error("hangs must be sorted by time")
+		}
+		if hg.At < lastEnd[hg.Node] {
+			t.Errorf("hang %d overlaps node %d's previous recovery", i, hg.Node)
+		}
+		lastEnd[hg.Node] = hg.At + hg.Recovery
+	}
+}
+
 func TestDeathsCensoredAtHorizon(t *testing.T) {
 	sched, err := Build(Scenario{NodeMTTF: time.Hour}, 64, 30*time.Minute, 3)
 	if err != nil {

@@ -32,7 +32,7 @@ func steadySim(t testing.TB) *simulator {
 		t.Fatal(err)
 	}
 	s := new(simulator)
-	s.reset(c, sched, rand.New(rand.NewSource(c.Seed)))
+	s.reset(c, sched, nil, rand.New(rand.NewSource(c.Seed)))
 	for i := 0; i < 4000; i++ {
 		if !s.step() {
 			t.Fatal("simulation ended during warm-up")
@@ -81,7 +81,7 @@ func TestSimulatorReusesBackingArrays(t *testing.T) {
 	}
 	s := new(simulator)
 	run := func() {
-		s.reset(c, sched, rand.New(rand.NewSource(c.Seed)))
+		s.reset(c, sched, nil, rand.New(rand.NewSource(c.Seed)))
 		for s.step() {
 		}
 		s.finish()

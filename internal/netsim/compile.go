@@ -16,6 +16,7 @@ package netsim
 import (
 	"fmt"
 
+	"sudc/internal/degrade"
 	"sudc/internal/faults"
 	"sudc/internal/topo"
 	"sudc/internal/units"
@@ -149,9 +150,10 @@ const frameIDBits = 40
 // resetTopo prepares the pooled simulator to run one compiled cell.
 // The caller has already scoped c.Obs / c.Trace to the cell and built
 // the cell's fault schedule over its own workers and links.
-func (s *simulator) resetTopo(c Config, p *cellPlan, sched faults.Schedule, cell int) {
+func (s *simulator) resetTopo(c Config, p *cellPlan, sched faults.Schedule, deg *degrade.Schedule, cell int) {
 	s.resetCommon(c, s.ownRand, p.workers)
 	s.topoMode = true
+	s.setDegrade(deg)
 	s.need = p.workers
 	s.totalSats = p.sats
 	s.frameID = int64(cell) << frameIDBits
@@ -196,11 +198,14 @@ func (s *simulator) resetTopo(c Config, p *cellPlan, sched faults.Schedule, cell
 	s.satEdge = resizeInts(s.satEdge, p.sats)
 
 	s.q.grow(p.sats + 4*p.workers +
-		len(sched.Deaths) + len(sched.Hangs) + len(sched.Outages) + 64)
+		len(sched.Deaths) + len(sched.Hangs) + len(sched.Outages) + s.degPhases() + 64)
 	s.sizeLatencies(p.sats)
 
 	if c.Obs != nil {
 		s.rec = newRecorder(c.Obs, c.SampleEvery, s)
 	}
 	s.seedEvents(sched)
+	if s.deg != nil {
+		s.applyPhase(0)
+	}
 }

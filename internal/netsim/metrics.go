@@ -30,6 +30,7 @@ var eventNames = [...]string{
 	evSEFIEnd:     "events/sefi_end",
 	evArrive:      "events/arrive",
 	evArriveMsg:   "events/arrive_msg",
+	evPhase:       "events/phase",
 }
 
 // sampleState is the simulator state visible to the series sampler at
@@ -38,10 +39,12 @@ type sampleState struct {
 	t            float64 // simulated seconds
 	inputQueue   int     // frames waiting for a batch slot
 	backlog      int     // frames in flight anywhere in the pipeline
-	effective    int     // workers neither dead nor hung
+	effective    int     // workers neither dead, hung, nor browned
 	availability float64 // availability integral over [0, t]
 	retried      int     // cumulative failed-and-retried ISL attempts
 	shed         int     // cumulative load-shed frames
+	rateMult     float64 // active service-rate multiplier
+	powered      int     // workers not parked by a brownout
 }
 
 // recorder writes one run's observability stream: per-event counters,
@@ -65,6 +68,11 @@ type recorder struct {
 
 	latency *obs.Histogram
 	backoff *obs.Histogram
+
+	// Registered only for degraded runs, so degradation-free snapshots
+	// stay byte-identical to the pre-degradation exports.
+	rateMult *obs.Series
+	powered  *obs.Series
 }
 
 // newRecorder builds the run's recorder. The caller configures the
@@ -92,6 +100,10 @@ func newRecorder(reg *obs.Registry, every time.Duration, sim *simulator) *record
 	for i := range sim.links {
 		r.islDepth[i] = reg.Series("isl/" + sim.links[i].name)
 	}
+	if sim.deg != nil {
+		r.rateMult = reg.Series("throttle/rate_mult")
+		r.powered = reg.Series("workers/powered")
+	}
 	return r
 }
 
@@ -106,6 +118,10 @@ func (r *recorder) record(s sampleState) {
 	r.avail.Sample(s.t, s.availability)
 	r.retried.Sample(s.t, float64(s.retried))
 	r.shed.Sample(s.t, float64(s.shed))
+	if r.rateMult != nil {
+		r.rateMult.Sample(s.t, s.rateMult)
+		r.powered.Sample(s.t, float64(s.powered))
+	}
 }
 
 // catchUp samples every grid point strictly before simulated time t,
@@ -144,4 +160,9 @@ func (r *recorder) flush(reg *obs.Registry, s Stats, evCount []int64) {
 	reg.Gauge("utilization/isl").Set(s.ISLUtilization)
 	reg.Gauge("utilization/workers").Set(s.WorkerUtilization)
 	reg.Gauge("queue/max").Set(float64(s.MaxInputQueue))
+	if r.sim.deg != nil {
+		reg.Gauge("throttle/mean_rate_mult").Set(s.MeanRateMult)
+		reg.Gauge("throttle/time_s").Set(s.ThrottledTime.Seconds())
+		reg.Gauge("brownout/time_s").Set(s.BrownoutTime.Seconds())
+	}
 }

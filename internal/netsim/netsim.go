@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"sudc/internal/constellation"
+	"sudc/internal/degrade"
 	"sudc/internal/faults"
 	"sudc/internal/obs"
 	"sudc/internal/obs/trace"
@@ -120,6 +121,27 @@ type Config struct {
 	// any value: sharding only schedules which goroutine advances a
 	// cell, never what the cell computes. Ignored without Topology.
 	Shards int
+
+	// Degrade, when non-nil, couples the run to its orbital environment:
+	// a degrade.Schedule compiled over the run horizon slows worker
+	// service in hot sunlit phases (thermal throttling), caps the powered
+	// worker complement during eclipse (power brownouts — batches
+	// stranded on a parked worker re-dispatch like on a node death), and
+	// raises SEFI intensity with temperature via faults.BuildModulated.
+	// A profile whose schedule compiles to the identity (Severity 0) is
+	// dropped to nil internally, so the run is byte-identical to one with
+	// no degradation at all.
+	Degrade *degrade.Profile
+	// ThrottleShed scales the shed threshold by the active throttle
+	// multiplier during throttled phases, shedding earlier when service
+	// is slow — the throttle-aware load-shedding policy. Requires
+	// Degrade and an enabled ShedThreshold.
+	ThrottleShed bool
+	// DeferInEclipse holds partial-batch timeouts that fire during an
+	// eclipse phase until the phase ends, deferring marginal work to
+	// sunlit power — the deadline-aware deferral policy. Full batches
+	// still dispatch on the surviving powered workers. Requires Degrade.
+	DeferInEclipse bool
 
 	// Trace, when non-nil, receives the run's frame-lineage flight
 	// recording: the full per-frame lifecycle (capture, ISL transfer,
@@ -246,6 +268,16 @@ func (c Config) Validate() error {
 	if c.SampleEvery < 0 {
 		return errors.New("netsim: negative sample period")
 	}
+	if c.Degrade != nil {
+		if err := c.Degrade.Validate(); err != nil {
+			return err
+		}
+	} else if c.ThrottleShed || c.DeferInEclipse {
+		return errors.New("netsim: ThrottleShed and DeferInEclipse require Degrade")
+	}
+	if c.ThrottleShed && c.ShedThreshold == 0 {
+		return errors.New("netsim: ThrottleShed requires an enabled ShedThreshold")
+	}
 	return nil
 }
 
@@ -294,6 +326,19 @@ type Stats struct {
 	// reliability.Availability.
 	Availability float64
 
+	// ThrottledTime is the simulated time spent in degradation phases
+	// with a service-rate multiplier below 1 (zero without Degrade).
+	ThrottledTime time.Duration
+	// BrownoutTime is the simulated time with at least one worker parked
+	// by an eclipse power brownout.
+	BrownoutTime time.Duration
+	// MeanRateMult is the time-averaged service-rate multiplier over the
+	// run — exactly 1 when degradation is disabled.
+	MeanRateMult float64
+	// BatchesDeferred counts partial-batch timeouts DeferInEclipse held
+	// until the end of their eclipse phase.
+	BatchesDeferred int
+
 	// CrossShardFrames counts frames delivered across cell boundaries as
 	// timestamped messages by the sharded topology runner. Always zero
 	// for legacy (nil-Topology) runs and for topologies whose cells are
@@ -315,6 +360,7 @@ const (
 	evSEFIEnd            // the watchdog recovered a hung worker
 	evArrive             // a frame finished propagating an intra-cell edge
 	evArriveMsg          // a cross-cell message frame arrives in this cell
+	evPhase              // the degradation schedule advances to its next phase
 )
 
 type event struct {
@@ -335,12 +381,13 @@ type frame struct {
 
 // workerState is one GPU node's health and service state.
 type workerState struct {
-	dead   bool
-	hung   bool
-	busy   bool
-	gen    int     // invalidates stale evBatchDone events
-	doneAt float64 // pending batch completion time
-	batch  []frame // in-flight frames, for re-dispatch on death
+	dead    bool
+	hung    bool
+	busy    bool
+	browned bool    // parked by an eclipse power brownout
+	gen     int     // invalidates stale evBatchDone events
+	doneAt  float64 // pending batch completion time
+	batch   []frame // in-flight frames, for re-dispatch on death
 }
 
 // Run executes the simulation seeded from c.Seed — the deterministic
@@ -354,7 +401,11 @@ func Run(c Config) (Stats, error) {
 	if c.Topology != nil {
 		return runTopology(c)
 	}
-	sched, err := faults.Build(c.Faults, c.Workers, c.Duration, c.Seed)
+	deg, err := buildDegrade(c)
+	if err != nil {
+		return Stats{}, err
+	}
+	sched, err := faults.BuildModulated(c.Faults, c.Workers, 1, c.Duration, c.Seed, deg.FaultEnvelope())
 	if err != nil {
 		return Stats{}, err
 	}
@@ -364,7 +415,7 @@ func Run(c Config) (Stats, error) {
 	} else {
 		s.ownRand.Seed(c.Seed)
 	}
-	s.reset(c, sched, s.ownRand)
+	s.reset(c, sched, deg, s.ownRand)
 	for s.step() {
 	}
 	stats := s.finish()
@@ -432,15 +483,37 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 		// single injected stream cannot express that.
 		return Stats{}, errors.New("netsim: topology runs own their RNG streams; use Run")
 	}
-	sched, err := faults.Build(c.Faults, c.Workers, c.Duration, c.Seed)
+	deg, err := buildDegrade(c)
+	if err != nil {
+		return Stats{}, err
+	}
+	sched, err := faults.BuildModulated(c.Faults, c.Workers, 1, c.Duration, c.Seed, deg.FaultEnvelope())
 	if err != nil {
 		return Stats{}, err
 	}
 	s := getSim()
-	s.reset(c, sched, rng)
+	s.reset(c, sched, deg, rng)
 	for s.step() {
 	}
 	stats := s.finish()
 	putSim(s)
 	return stats, nil
+}
+
+// buildDegrade compiles the config's degradation schedule over the run
+// horizon. Identity schedules (Severity 0) drop to nil so a
+// zero-severity run takes the exact degradation-free code path — the
+// byte-identity anchor for the severity sweep's baseline.
+func buildDegrade(c Config) (*degrade.Schedule, error) {
+	if c.Degrade == nil {
+		return nil, nil
+	}
+	deg, err := degrade.Build(*c.Degrade, c.Duration)
+	if err != nil {
+		return nil, err
+	}
+	if deg.Identity() {
+		return nil, nil
+	}
+	return deg, nil
 }

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"time"
 
+	"sudc/internal/degrade"
 	"sudc/internal/faults"
 	"sudc/internal/par"
 	"sudc/internal/units"
@@ -52,7 +53,7 @@ type shardRunner struct {
 // Star graph is then equivalent to the legacy implicit star — while
 // multi-cell topologies fork one seed, obs scope, and trace child
 // ("c%03d") per cell.
-func newShardRunner(c Config, plans []cellPlan) (*shardRunner, error) {
+func newShardRunner(c Config, plans []cellPlan, deg *degrade.Schedule) (*shardRunner, error) {
 	r := &shardRunner{
 		c:       c,
 		horizon: c.Duration.Seconds(),
@@ -84,19 +85,15 @@ func newShardRunner(c Config, plans []cellPlan) (*shardRunner, error) {
 				cc.Trace = c.Trace.Child(fmt.Sprintf("c%03d", i))
 			}
 		}
-		edges := len(p.links)
-		if edges < 1 {
-			edges = 1 // relay-free cell: schedule shape only, outages dropped below
-		}
-		sched, err := faults.BuildN(c.Faults, p.workers, edges, c.Duration, cc.Seed)
+		// The shared degradation schedule modulates every cell's SEFI
+		// stream through the same envelope; each cell still forks its own
+		// per-node RNG streams from its cell seed.
+		sched, err := faults.BuildModulated(c.Faults, p.workers, len(p.links), c.Duration, cc.Seed, deg.FaultEnvelope())
 		if err != nil {
 			for _, s := range r.sims {
 				putSim(s)
 			}
 			return nil, err
-		}
-		if len(p.links) == 0 {
-			sched.Outages = nil
 		}
 		s := getSim()
 		if s.ownRand == nil {
@@ -105,7 +102,7 @@ func newShardRunner(c Config, plans []cellPlan) (*shardRunner, error) {
 			s.ownRand.Seed(cc.Seed)
 		}
 		r.sims = append(r.sims, s)
-		s.resetTopo(cc, p, sched, i)
+		s.resetTopo(cc, p, sched, deg, i)
 		r.weights[i] = p.workers
 		r.linksN[i] = len(p.links)
 	}
@@ -181,8 +178,9 @@ func (r *shardRunner) finish() Stats {
 		return cs
 	}
 	var out Stats
-	var availW, degW, wuW, islW float64
+	var availW, degW, wuW, islW, rateW float64
 	totalWorkers, totalLinks := 0, 0
+	out.MeanRateMult = 1
 	r.allLat = r.allLat[:0]
 	for i, s := range r.sims {
 		cs := s.finish()
@@ -201,6 +199,17 @@ func (r *shardRunner) finish() Stats {
 		if cs.MaxInputQueue > out.MaxInputQueue {
 			out.MaxInputQueue = cs.MaxInputQueue
 		}
+		out.BatchesDeferred += cs.BatchesDeferred
+		// Every cell replays the same wall-clock degradation schedule, so
+		// throttle/brownout time is a max, not a sum (worker-less relay
+		// cells report zero brownout time and drop out).
+		if cs.ThrottledTime > out.ThrottledTime {
+			out.ThrottledTime = cs.ThrottledTime
+		}
+		if cs.BrownoutTime > out.BrownoutTime {
+			out.BrownoutTime = cs.BrownoutTime
+		}
+		rateW += cs.MeanRateMult * w
 		availW += cs.Availability * w
 		degW += cs.DegradedFraction * w
 		wuW += cs.WorkerUtilization * w
@@ -218,6 +227,7 @@ func (r *shardRunner) finish() Stats {
 		out.Availability = units.Clamp(availW/float64(totalWorkers), 0, 1)
 		out.DegradedFraction = units.Clamp(degW/float64(totalWorkers), 0, 1)
 		out.WorkerUtilization = units.Clamp(wuW/float64(totalWorkers), 0, 1)
+		out.MeanRateMult = rateW / float64(totalWorkers)
 	}
 	if totalLinks > 0 {
 		out.ISLUtilization = units.Clamp(islW/float64(totalLinks), 0, 1)
@@ -256,7 +266,11 @@ func runTopology(c Config) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	r, err := newShardRunner(c, plans)
+	deg, err := buildDegrade(c)
+	if err != nil {
+		return Stats{}, err
+	}
+	r, err := newShardRunner(c, plans, deg)
 	if err != nil {
 		return Stats{}, err
 	}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"sudc/internal/degrade"
 	"sudc/internal/faults"
 	"sudc/internal/obs/trace"
 	"sudc/internal/units"
@@ -162,6 +163,19 @@ type simulator struct {
 	tr       *trace.Recorder
 	topoMode bool
 	frameID  int64
+
+	// Degradation replay (deg == nil when the run is degradation-free;
+	// every hot-path hook below then reduces to one nil/false check).
+	deg          *degrade.Schedule
+	degPhase     int     // index of the active phase
+	rateMult     float64 // active service-rate multiplier (1 when deg == nil)
+	throttleShed bool
+	deferEclipse bool
+	rateMultInt  float64 // ∫ rateMult dt over the run
+	throttledSum float64 // time with rateMult < 1
+	brownoutSum  float64 // time with ≥ 1 browned worker
+	browned      int     // workers currently parked by a brownout
+	brownoutIdx  int     // brownout ordinal, for cause attribution
 }
 
 // simPool recycles simulator state — heap, ring buffers, latency and
@@ -298,6 +312,13 @@ func (s *simulator) resetCommon(c Config, src *rand.Rand, workers int) {
 	s.stats = Stats{}
 	s.now = 0
 
+	s.deg = nil
+	s.degPhase = 0
+	s.rateMult = 1
+	s.throttleShed, s.deferEclipse = false, false
+	s.rateMultInt, s.throttledSum, s.brownoutSum = 0, 0, 0
+	s.browned, s.brownoutIdx = 0, 0
+
 	s.rec = nil
 	for i := range s.evCount {
 		s.evCount[i] = 0
@@ -346,15 +367,24 @@ func (s *simulator) seedEvents(sched faults.Schedule) {
 	for _, o := range sched.Outages {
 		s.push(event{at: o.Start, kind: evOutageStart, who: o.Edge, dur: o.Duration})
 	}
+	// Degradation phase transitions go last so degradation-free runs keep
+	// their exact pre-degradation event sequence numbers. Phase 0 is
+	// applied directly by reset, not via an event.
+	if s.deg != nil {
+		for i := 1; i < len(s.deg.Phases); i++ {
+			s.push(event{at: s.deg.Phases[i].Start, kind: evPhase, who: i})
+		}
+	}
 }
 
 // reset prepares the pooled simulator for one legacy (implicit-star)
 // run, reusing every backing array that is already large enough. The
 // star compiles to one source group feeding SµDC 0 over link 0 with
 // zero propagation delay — the exact pre-topology shape.
-func (s *simulator) reset(c Config, sched faults.Schedule, src *rand.Rand) {
+func (s *simulator) reset(c Config, sched faults.Schedule, deg *degrade.Schedule, src *rand.Rand) {
 	s.resetCommon(c, src, c.Workers)
 	s.topoMode = false
+	s.setDegrade(deg)
 
 	s.need = c.NeedWorkers
 	if s.need == 0 {
@@ -384,13 +414,35 @@ func (s *simulator) reset(c Config, sched faults.Schedule, src *rand.Rand) {
 	}
 
 	s.q.grow(c.Constellation.Satellites + 4*c.Workers +
-		len(sched.Deaths) + len(sched.Hangs) + len(sched.Outages) + 64)
+		len(sched.Deaths) + len(sched.Hangs) + len(sched.Outages) + s.degPhases() + 64)
 	s.sizeLatencies(c.Constellation.Satellites)
 
 	if c.Obs != nil {
 		s.rec = newRecorder(c.Obs, c.SampleEvery, s)
 	}
 	s.seedEvents(sched)
+	if s.deg != nil {
+		s.applyPhase(0)
+	}
+}
+
+// setDegrade installs the (possibly nil) degradation schedule and its
+// policy knobs. Must run before seedEvents and newRecorder: both key on
+// s.deg.
+func (s *simulator) setDegrade(deg *degrade.Schedule) {
+	s.deg = deg
+	if deg != nil {
+		s.throttleShed = s.c.ThrottleShed
+		s.deferEclipse = s.c.DeferInEclipse
+	}
+}
+
+// degPhases returns the phase-event count for event-heap sizing.
+func (s *simulator) degPhases() int {
+	if s.deg == nil {
+		return 0
+	}
+	return len(s.deg.Phases)
 }
 
 func (s *simulator) push(e event) {
@@ -451,6 +503,15 @@ func (s *simulator) accrue(t float64) {
 			s.degradedTime += dt
 		}
 		s.downWS += dt * float64(s.totalWorkers-s.effective)
+		if s.deg != nil {
+			s.rateMultInt += dt * s.rateMult
+			if s.rateMult < 1 {
+				s.throttledSum += dt
+			}
+			if s.browned > 0 {
+				s.brownoutSum += dt
+			}
+		}
 	}
 	s.lastT = t
 }
@@ -458,7 +519,7 @@ func (s *simulator) accrue(t float64) {
 func (s *simulator) recount() {
 	s.effective = 0
 	for i := range s.workers {
-		if !s.workers[i].dead && !s.workers[i].hung {
+		if !s.workers[i].dead && !s.workers[i].hung && !s.workers[i].browned {
 			s.effective++
 		}
 	}
@@ -489,6 +550,8 @@ func (s *simulator) sampleState(t float64) sampleState {
 		availability: avail,
 		retried:      s.stats.FramesRetried,
 		shed:         s.stats.FramesShed,
+		rateMult:     s.rateMult,
+		powered:      s.totalWorkers - s.browned,
 	}
 }
 
@@ -561,7 +624,13 @@ func (s *simulator) addToInput(si int, f frame) {
 	if s.tr != nil {
 		s.tr.Record(trace.Event{T: s.now, Kind: trace.Enqueued, Frame: f.id, Node: -1})
 	}
-	if s.shedEnabled && in.len() > s.shedLimit {
+	limit := s.shedLimit
+	if s.throttleShed && s.rateMult < 1 {
+		// Throttle-aware shedding: the queue the SµDC can afford shrinks
+		// with its service rate.
+		limit = int(float64(limit) * s.rateMult)
+	}
+	if s.shedEnabled && in.len() > limit {
 		low := 0
 		for i := 1; i < in.len(); i++ {
 			if in.at(i).value < in.at(low).value {
@@ -584,7 +653,8 @@ func (s *simulator) addToInput(si int, f frame) {
 // SµDC's slice, for deterministic worker selection.
 func (s *simulator) freeWorker(d *sudcState) int {
 	for i := d.w0; i < d.w0+d.nw; i++ {
-		if !s.workers[i].dead && !s.workers[i].hung && !s.workers[i].busy {
+		w := &s.workers[i]
+		if !w.dead && !w.hung && !w.browned && !w.busy {
 			return i
 		}
 	}
@@ -608,6 +678,11 @@ func (s *simulator) dispatch(si int, force bool) {
 		}
 		w := &s.workers[wi]
 		service := float64(n) * s.framePixels / s.nodePixSec
+		if s.deg != nil {
+			// Thermal throttling stretches service time. Unthrottled
+			// phases divide by exactly 1, which is bit-exact.
+			service /= s.rateMult
+		}
 		s.busySum += service
 		w.busy = true
 		w.batch = batch
@@ -624,6 +699,85 @@ func (s *simulator) dispatch(si int, force bool) {
 	if d.input.len() > 0 && !d.timeoutArmed {
 		d.timeoutArmed = true
 		s.push(event{at: s.now + s.batchTimeout, kind: evBatchingOut, who: si})
+	}
+}
+
+// applyPhase activates degradation phase pi: the service-rate
+// multiplier switches, and the phase's power budget parks the
+// highest-index workers of every SµDC beyond its powered complement.
+// A batch in flight on a parked worker is stranded back to the head of
+// the input queue exactly like on a node death, and the surviving
+// powered workers pick the frames up in deterministic order.
+func (s *simulator) applyPhase(pi int) {
+	ph := &s.deg.Phases[pi]
+	s.degPhase = pi
+	s.rateMult = ph.RateMult
+	if s.tr != nil && ph.RateMult != 1 {
+		s.tr.Record(trace.Event{T: s.now, Kind: trace.Throttle, Node: -1,
+			Mult: ph.RateMult, Dur: s.deg.End(pi) - ph.Start})
+	}
+	if s.browned > 0 && s.tr != nil {
+		s.tr.Record(trace.Event{T: s.now, Kind: trace.BrownoutEnd, Node: -1, N: s.browned})
+	}
+	s.browned = 0
+	cause := ""
+	if ph.PowerFrac < 1 {
+		s.brownoutIdx++
+		if s.tr != nil {
+			cause = fmt.Sprintf("brownout#%d", s.brownoutIdx)
+		}
+	}
+	for si := range s.sudcs {
+		d := &s.sudcs[si]
+		powered := d.nw
+		if ph.PowerFrac < 1 {
+			powered = int(math.Ceil(ph.PowerFrac * float64(d.nw)))
+			if powered < 1 {
+				powered = 1 // the battery always carries one worker
+			}
+		}
+		for i := d.w0; i < d.w0+powered; i++ {
+			s.workers[i].browned = false
+		}
+		for i := d.w0 + powered; i < d.w0+d.nw; i++ {
+			w := &s.workers[i]
+			s.browned++
+			if w.browned {
+				continue
+			}
+			w.browned = true
+			if !w.busy {
+				continue
+			}
+			// Strand the in-flight batch, as evWorkerDeath does.
+			w.busy = false
+			w.gen++
+			s.busySum -= w.doneAt - s.now
+			s.stats.FramesRedispatched += len(w.batch)
+			if s.tr != nil {
+				for _, f := range w.batch {
+					s.tr.Record(trace.Event{T: s.now, Kind: trace.Enqueued,
+						Frame: f.id, Node: -1, Cause: cause})
+				}
+			}
+			in := &d.input
+			for j := len(w.batch) - 1; j >= 0; j-- {
+				in.pushFront(w.batch[j])
+			}
+			if in.len() > s.stats.MaxInputQueue {
+				s.stats.MaxInputQueue = in.len()
+			}
+			s.putBatch(w.batch)
+			w.batch = nil
+		}
+	}
+	if s.browned > 0 && s.tr != nil {
+		s.tr.Record(trace.Event{T: s.now, Kind: trace.BrownoutStart, Node: -1,
+			N: s.browned, Dur: s.deg.End(pi) - ph.Start, Cause: cause})
+	}
+	s.recount()
+	for si := range s.sudcs {
+		s.dispatch(si, false)
 	}
 }
 
@@ -896,8 +1050,25 @@ func (s *simulator) apply(e event) {
 		s.dispatch(s.workerSudc[e.who], false)
 
 	case evBatchingOut:
-		s.sudcs[e.who].timeoutArmed = false
-		s.dispatch(e.who, true)
+		si := e.who
+		d := &s.sudcs[si]
+		if s.deferEclipse && d.input.len() > 0 && s.deg.Phases[s.degPhase].Eclipse {
+			if end := s.deg.End(s.degPhase); end < s.horizon {
+				// Deadline-aware deferral: hold the partial batch until
+				// sunlit power returns. timeoutArmed stays set so new
+				// arrivals don't arm a second timeout. The evPhase event
+				// at `end` was seeded earlier, so it applies first and
+				// unparks the workers before this re-armed timeout fires.
+				s.stats.BatchesDeferred++
+				s.push(event{at: end, kind: evBatchingOut, who: si})
+				break
+			}
+		}
+		d.timeoutArmed = false
+		s.dispatch(si, true)
+
+	case evPhase:
+		s.applyPhase(e.who)
 	}
 }
 
@@ -939,6 +1110,12 @@ func (s *simulator) finish() Stats {
 	stats.ISLDowntime = time.Duration(islDown * float64(time.Second))
 	stats.DegradedFraction = units.Clamp(s.degradedTime/s.horizon, 0, 1)
 	stats.Availability = units.Clamp(s.upTime/s.horizon, 0, 1)
+	stats.MeanRateMult = 1
+	if s.deg != nil {
+		stats.MeanRateMult = s.rateMultInt / s.horizon
+		stats.ThrottledTime = time.Duration(s.throttledSum * float64(time.Second))
+		stats.BrownoutTime = time.Duration(s.brownoutSum * float64(time.Second))
+	}
 	if s.rec != nil {
 		s.rec.flush(s.c.Obs, stats, s.evCount[:])
 	}

@@ -240,7 +240,7 @@ func TestCrossShardWindowZeroAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := newShardRunner(c, plans)
+	r, err := newShardRunner(c, plans, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -354,8 +354,10 @@ type Interval struct {
 	// Start and End bound the window (End clipped to the horizon; a
 	// node death extends to the horizon).
 	Start, End float64
-	// Kind is "isl-outage", "sefi", or "node-death"; Node the affected
-	// worker (-1 for ISL outages); Cause the window's attribution tag.
+	// Kind is "isl-outage", "sefi", "node-death", "throttle", or
+	// "brownout"; Node the affected worker (-1 for ISL outages and the
+	// fleet-wide degradation windows); Cause the window's attribution
+	// tag.
 	Kind  string
 	Node  int
 	Cause string
@@ -373,6 +375,7 @@ func (iv Interval) Duration() float64 { return iv.End - iv.Start }
 func DegradedIntervals(events []trace.Event, horizon float64) []Interval {
 	var out []Interval
 	open := map[string]int{} // outage cause -> index in out
+	brownIdx := -1           // open brownout window (at most one fleet-wide)
 	for _, e := range events {
 		switch e.Kind {
 		case trace.OutageStart:
@@ -398,6 +401,29 @@ func DegradedIntervals(events []trace.Event, horizon float64) []Interval {
 		case trace.NodeDeath:
 			out = append(out, Interval{Start: e.T, End: horizon, Kind: "node-death",
 				Node: e.Node, Cause: fmt.Sprintf("node-death#%d", e.Node)})
+		case trace.Throttle:
+			if e.Mult >= 1 {
+				break
+			}
+			end := e.T + e.Dur
+			if end > horizon {
+				end = horizon
+			}
+			out = append(out, Interval{Start: e.T, End: end, Kind: "throttle",
+				Node: -1, Cause: fmt.Sprintf("throttle×%.2f", e.Mult)})
+		case trace.BrownoutStart:
+			end := e.T + e.Dur
+			if end > horizon {
+				end = horizon
+			}
+			out = append(out, Interval{Start: e.T, End: end, Kind: "brownout",
+				Node: -1, Cause: e.Cause})
+			brownIdx = len(out) - 1
+		case trace.BrownoutEnd:
+			if brownIdx >= 0 {
+				out[brownIdx].End = e.T
+				brownIdx = -1
+			}
 		}
 	}
 	counts := map[string]int{}
@@ -435,6 +461,10 @@ func AvailabilityFromTrace(events []trace.Event, workers, need int, horizon floa
 			edges = append(edges, edge{e.T, -1})
 		case trace.SEFIEnd:
 			edges = append(edges, edge{e.T, +1})
+		case trace.BrownoutStart:
+			edges = append(edges, edge{e.T, -e.N})
+		case trace.BrownoutEnd:
+			edges = append(edges, edge{e.T, +e.N})
 		}
 	}
 	sort.SliceStable(edges, func(i, j int) bool { return edges[i].t < edges[j].t })

@@ -113,6 +113,7 @@ func DecodeJSONL(rd io.Reader) (*Recorder, error) {
 const (
 	tidFrames = 1
 	tidISL    = 2
+	tidEnv    = 3  // degradation phases (throttle slices, brownout windows)
 	tidWorker = 10 // + worker index
 )
 
@@ -177,6 +178,17 @@ func scopeChrome(pid int, scope string, events []Event) []chromeEvent {
 	})
 	meta(tidFrames, "frames")
 	meta(tidISL, "ISL")
+	// The environment track is named lazily, like worker tracks, so
+	// recordings without degradation events export byte-identically to
+	// before the track existed.
+	envNamed := false
+	env := func() int {
+		if !envNamed {
+			envNamed = true
+			meta(tidEnv, "env")
+		}
+		return tidEnv
+	}
 	namedWorkers := map[int]bool{}
 	worker := func(node int) int {
 		if node >= 0 && !namedWorkers[node] {
@@ -191,6 +203,7 @@ func scopeChrome(pid int, scope string, events []Event) []chromeEvent {
 		sendStart   = map[int64]float64{}     // frame -> in-flight transfer start
 		computeOpen = map[int]openBatch{}     // node -> open batch slice
 		outages     = map[string]openOutage{} // edge label ("" = legacy ISL) -> open window
+		brownout    *openBrownout             // open eclipse-brownout window
 		lastT       float64
 	)
 	outageArgs := func(ow openOutage, edge string) map[string]any {
@@ -299,6 +312,21 @@ func scopeChrome(pid int, scope string, events []Event) []chromeEvent {
 			out = append(out, chromeEvent{Name: e.Name, Ph: "X",
 				Ts: (e.T - e.Dur) * usPerSec, Dur: e.Dur * usPerSec,
 				Pid: pid, Tid: tidFrames})
+		case Throttle:
+			out = append(out, chromeEvent{Name: fmt.Sprintf("throttle ×%.2f", e.Mult),
+				Ph: "X", Ts: ts, Dur: e.Dur * usPerSec, Pid: pid, Tid: env(),
+				Args: map[string]any{"rate_mult": e.Mult}})
+		case BrownoutStart:
+			brownout = &openBrownout{start: e.T, n: e.N, cause: e.Cause}
+		case BrownoutEnd:
+			if brownout == nil {
+				break
+			}
+			out = append(out, chromeEvent{Name: fmt.Sprintf("brownout −%d", brownout.n),
+				Ph: "X", Ts: brownout.start * usPerSec, Dur: (e.T - brownout.start) * usPerSec,
+				Pid: pid, Tid: env(),
+				Args: map[string]any{"cause": brownout.cause, "workers_parked": brownout.n}})
+			brownout = nil
 		}
 	}
 	// Close windows still open at the end of the recording, edges in
@@ -313,6 +341,12 @@ func scopeChrome(pid int, scope string, events []Event) []chromeEvent {
 		out = append(out, chromeEvent{Name: "outage", Ph: "X",
 			Ts: ow.start * usPerSec, Dur: (lastT - ow.start) * usPerSec,
 			Pid: pid, Tid: tidISL, Args: outageArgs(ow, edge)})
+	}
+	if brownout != nil {
+		out = append(out, chromeEvent{Name: fmt.Sprintf("brownout −%d (open)", brownout.n),
+			Ph: "X", Ts: brownout.start * usPerSec, Dur: (lastT - brownout.start) * usPerSec,
+			Pid: pid, Tid: env(),
+			Args: map[string]any{"cause": brownout.cause, "workers_parked": brownout.n}})
 	}
 	nodes := make([]int, 0, len(computeOpen))
 	for n := range computeOpen {
@@ -335,5 +369,11 @@ type openBatch struct {
 
 type openOutage struct {
 	start float64
+	cause string
+}
+
+type openBrownout struct {
+	start float64
+	n     int
 	cause string
 }

@@ -83,6 +83,16 @@ const (
 	// SpanDone: a completed obs span (Name, wall Dur, simulated Sim) —
 	// recorded when a Recorder is installed as a registry's span sink.
 	SpanDone
+	// Throttle: the degradation schedule entered a phase whose thermal
+	// throttle multiplier (Mult) differs from 1; the phase lasts Dur
+	// seconds. Node is -1 (throttling is fleet-wide in this model).
+	Throttle
+	// BrownoutStart: an eclipse power brownout parked N workers. Cause
+	// carries the phase ordinal ("brownout#k") so stranded frames can
+	// name it; Dur is the phase length.
+	BrownoutStart
+	// BrownoutEnd: the previous brownout lifted (N workers return).
+	BrownoutEnd
 
 	numKinds
 )
@@ -106,6 +116,9 @@ var kindNames = [numKinds]string{
 	OutageStart:   "outage_start",
 	OutageEnd:     "outage_end",
 	SpanDone:      "span",
+	Throttle:      "throttle",
+	BrownoutStart: "brownout_start",
+	BrownoutEnd:   "brownout_end",
 }
 
 // kindByName is the inverse of kindNames, for decoding.
@@ -150,6 +163,8 @@ type Event struct {
 	Dur float64 `json:"d,omitempty"`
 	// Sim is a span's simulated duration in seconds (SpanDone).
 	Sim float64 `json:"sim,omitempty"`
+	// Mult is the service-rate multiplier of a Throttle phase.
+	Mult float64 `json:"m,omitempty"`
 	// Cause attributes the event to a fault window, e.g.
 	// "isl-outage#2" or "node-death#3".
 	Cause string `json:"c,omitempty"`

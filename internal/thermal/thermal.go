@@ -79,6 +79,30 @@ func (r Radiator) Emitted(a units.Area) units.Power {
 	return units.Power(r.FluxPerArea() * float64(a))
 }
 
+// EquilibriumTemp returns the panel temperature at which a radiator of
+// the given area rejects exactly q — the inverse of Emitted:
+// T = (T_sink⁴ + q/(εσA·faces))^¼. It is the steady-state operating
+// temperature of a fixed panel under a varying heat load, the quantity
+// the degradation engine's throttle curve keys on.
+func EquilibriumTemp(r Radiator, q units.Power, a units.Area) (units.Temperature, error) {
+	if r.Emissivity <= 0 || r.Emissivity > 1 {
+		return 0, fmt.Errorf("thermal: emissivity %v out of (0,1]", r.Emissivity)
+	}
+	if a <= 0 {
+		return 0, errors.New("thermal: panel area must be positive")
+	}
+	if q < 0 {
+		return 0, errors.New("thermal: negative heat load")
+	}
+	faces := 1.0
+	if r.TwoSided {
+		faces = 2
+	}
+	s4 := math.Pow(float64(r.SinkTemperature), 4)
+	t4 := s4 + float64(q)/(r.Emissivity*units.StefanBoltzmann*float64(a)*faces)
+	return units.Temperature(math.Pow(t4, 0.25)), nil
+}
+
 // HeatPump is the active thermal control element. It moves heat from the
 // electronics loop at Cold to the radiator at Hot; its electrical draw is
 // heat/CoP with CoP a fraction of the Carnot limit.
