@@ -22,6 +22,7 @@ import (
 	"sudc/internal/obs"
 	"sudc/internal/obs/trace"
 	"sudc/internal/par/partest"
+	"sudc/internal/placement"
 	"sudc/internal/reliability"
 	"sudc/internal/topo"
 	"sudc/internal/workload"
@@ -288,6 +289,27 @@ func BenchmarkNetsimDegraded(b *testing.B) {
 	}
 	p := degrade.COTSProfile(1)
 	c.Degrade = &p
+	for i := 0; i < b.N; i++ {
+		if _, err := netsim.Run(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetsimPlaced measures the four-tier compute-placement engine
+// on the reference run: the queue-aware policy routes every frame
+// across onboard / SµDC / ground-edge / cloud with live per-tier queue
+// accounting. The baseline lives in BENCH_placement.json; the
+// placement-disabled path stays under the BENCH_netsim.json gate, since
+// BenchmarkNetsim runs with no placement config at all.
+func BenchmarkNetsimPlaced(b *testing.B) {
+	c := netsim.DefaultConfig(workload.Suite[0])
+	scen := placement.DefaultScenario(workload.Suite[0])
+	pc, err := scen.Config(placement.Policy{Kind: placement.QueueAware})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Placement = pc
 	for i := 0; i < b.N; i++ {
 		if _, err := netsim.Run(c); err != nil {
 			b.Fatal(err)

@@ -36,6 +36,14 @@
 //	-throttle s      COTS degradation severity 0..1 (0 = off)
 //	-cots name       hardware calibration: xing-cots, integrated-panel
 //	-eclipse-frac f  eclipse fraction override (< 0 = orbit-derived)
+//	-placement p     compute-placement policy: static-<tier>, greedy,
+//	                 queue, oracle ("" = off); the report then counts
+//	                 frames per tier
+//	-downlink-gbps f aggregate downlink capacity override in Gbit/s
+//	-edge-servers n  ground-edge GPU pool size (default 8)
+//	-latency-weight w  latency price in $/frame-second (default 1e-4)
+//	-place-compress a  onboard compression before downlink: none, ccsds,
+//	                 jpeg2000, neural
 //
 // Analysis flags:
 //
@@ -56,11 +64,13 @@ import (
 	"os"
 	"time"
 
+	"sudc/internal/compress"
 	"sudc/internal/degrade"
 	"sudc/internal/faults"
 	"sudc/internal/netsim"
 	"sudc/internal/obs/latency"
 	"sudc/internal/obs/trace"
+	"sudc/internal/placement"
 	"sudc/internal/topo"
 	"sudc/internal/units"
 	"sudc/internal/workload"
@@ -100,6 +110,11 @@ func run(args []string, out io.Writer) error {
 	throttle := fs.Float64("throttle", 0, "COTS degradation severity 0..1 (0 = off)")
 	cots := fs.String("cots", "xing-cots", "COTS hardware calibration name")
 	eclipseFrac := fs.Float64("eclipse-frac", -1, "eclipse fraction override (< 0 = orbit-derived)")
+	placementPol := fs.String("placement", "", "placement policy: static-<tier>, greedy, queue, oracle (\"\" = off)")
+	downlinkGbps := fs.Float64("downlink-gbps", 0, "aggregate downlink capacity override in Gbit/s (0 = derived)")
+	edgeServers := fs.Int("edge-servers", 8, "ground-edge GPU pool size (with -placement)")
+	latencyWeight := fs.Float64("latency-weight", 1e-4, "latency price in $/frame-second (with -placement)")
+	placeCompress := fs.String("place-compress", "", "onboard compression before downlink: none, ccsds, jpeg2000, neural")
 	load := fs.String("load", "", "analyze a saved JSONL recording instead of running a scenario")
 	topK := fs.Int("top", 5, "detail the k slowest frames")
 	jsonlOut := fs.String("jsonl", "", "save the recording as JSONL")
@@ -186,6 +201,35 @@ func run(args []string, out io.Writer) error {
 			p.EclipseFraction = *eclipseFrac
 			cfg.Degrade = &p
 		}
+		if *placementPol != "" {
+			pol, err := placement.PolicyByName(*placementPol)
+			if err != nil {
+				return err
+			}
+			alg, err := compress.ByName(*placeCompress)
+			if err != nil {
+				return err
+			}
+			scen := placement.DefaultScenario(app)
+			scen.FramesPerMinute = cfg.Constellation.FramesPerMinute
+			scen.Satellites = *satellites
+			scen.SpacePower = units.KW(*powerKW)
+			scen.Workers = sized
+			scen.ISLRate = cfg.ISLRate
+			scen.EdgeServers = *edgeServers
+			scen.LatencyWeight = *latencyWeight
+			if alg.Ratio > 1 {
+				scen.Compression = alg
+			}
+			pc, err := scen.Config(pol)
+			if err != nil {
+				return err
+			}
+			if *downlinkGbps > 0 {
+				pc.DownlinkRate = units.GbpsOf(*downlinkGbps)
+			}
+			cfg.Placement = pc
+		}
 		rec = trace.New(0)
 		cfg.Trace = rec
 		s, err := netsim.Run(cfg)
@@ -246,6 +290,21 @@ func analyze(out io.Writer, rec *trace.Recorder, horizon float64, topK, workers,
 		}
 	}
 	fmt.Fprintln(out)
+	tiers := map[string]int{}
+	for _, f := range frames {
+		if f.Tier != "" {
+			tiers[f.Tier]++
+		}
+	}
+	if len(tiers) > 0 {
+		fmt.Fprintf(out, "placement tiers:")
+		for _, name := range []string{"onboard", "space", "ground-edge", "cloud"} {
+			if tiers[name] > 0 {
+				fmt.Fprintf(out, " %d %s", tiers[name], name)
+			}
+		}
+		fmt.Fprintln(out)
+	}
 	if dropped := totalDropped(rec); dropped > 0 {
 		fmt.Fprintf(out, "WARNING: recorder dropped %d events at its bound; stats below are partial\n", dropped)
 	}
@@ -356,6 +415,8 @@ func describe(e trace.Event) string {
 		return fmt.Sprintf("compute done on worker %d", e.Node)
 	case trace.Downlinked:
 		return "insight downlinked"
+	case trace.Placed:
+		return fmt.Sprintf("placed on the %s tier", e.Tier)
 	case trace.Shed:
 		return "shed from input queue"
 	case trace.Lost:

@@ -170,3 +170,13 @@ func TestUnknownCalibrationRejected(t *testing.T) {
 		t.Error("unknown calibration must error")
 	}
 }
+
+func TestPlacementTierCounts(t *testing.T) {
+	out := runMon(t, "-hours", "0.5", "-placement", "static-cloud", "-top", "1")
+	if !strings.Contains(out, "placement tiers:") || !strings.Contains(out, "cloud") {
+		t.Errorf("per-tier counts missing:\n%s", out)
+	}
+	if !strings.Contains(out, "placed on the cloud tier") {
+		t.Errorf("slowest-frame timeline missing the placed event:\n%s", out)
+	}
+}

@@ -55,6 +55,21 @@
 //	-horizon-years y run the compressed-horizon survivability program
 //	                 instead of the DES (fleet lifecycle × degradation)
 //
+// Compute placement ("when to compute in space"; see
+// internal/placement): each frame is routed across four tiers —
+// onboard flight computer, orbital SµDC, ground-station edge,
+// terrestrial cloud — under a latency/cost objective:
+//
+//	-placement p     routing policy: static-onboard, static-space,
+//	                 static-edge, static-cloud, greedy, queue, oracle
+//	                 ("" = off, the legacy all-space pipeline)
+//	-downlink-gbps f aggregate downlink capacity override in Gbit/s
+//	                 (0 = derived from the default ground network)
+//	-edge-servers n  ground-edge GPU pool size (default 8)
+//	-latency-weight w  latency price in $/frame-second (default 1e-4)
+//	-place-compress a  onboard compression before downlink: none, ccsds,
+//	                 jpeg2000, neural (default none)
+//
 // Observability:
 //
 //	-metrics         print the run's metric snapshot (counters, queue-depth /
@@ -73,11 +88,13 @@ import (
 	"os"
 	"time"
 
+	"sudc/internal/compress"
 	"sudc/internal/degrade"
 	"sudc/internal/faults"
 	"sudc/internal/netsim"
 	"sudc/internal/obs"
 	"sudc/internal/obs/trace"
+	"sudc/internal/placement"
 	"sudc/internal/topo"
 	"sudc/internal/units"
 	"sudc/internal/workload"
@@ -120,6 +137,11 @@ func run(args []string, out io.Writer) error {
 	throttleShed := fs.Bool("throttle-shed", false, "scale the shed threshold with the throttle multiplier")
 	deferEclipse := fs.Bool("defer-eclipse", false, "defer partial-batch timeouts past the eclipse window")
 	horizonYears := fs.Float64("horizon-years", 0, "run the compressed-horizon survivability program over this many years")
+	placementPol := fs.String("placement", "", "placement policy: static-<tier>, greedy, queue, oracle (\"\" = off)")
+	downlinkGbps := fs.Float64("downlink-gbps", 0, "aggregate downlink capacity override in Gbit/s (0 = derived)")
+	edgeServers := fs.Int("edge-servers", 8, "ground-edge GPU pool size (with -placement)")
+	latencyWeight := fs.Float64("latency-weight", 1e-4, "latency price in $/frame-second (with -placement)")
+	placeCompress := fs.String("place-compress", "", "onboard compression before downlink: none, ccsds, jpeg2000, neural")
 	metrics := fs.Bool("metrics", false, "print the run's metric snapshot")
 	traceSpans := fs.Bool("trace", false, "stream span trace lines as stages complete")
 	traceOut := fs.String("trace-out", "", "write the frame-lineage flight recording to this JSONL file")
@@ -213,6 +235,35 @@ func run(args []string, out io.Writer) error {
 		cfg.ThrottleShed = *throttleShed
 		cfg.DeferInEclipse = *deferEclipse
 	}
+	if *placementPol != "" {
+		pol, err := placement.PolicyByName(*placementPol)
+		if err != nil {
+			return err
+		}
+		alg, err := compress.ByName(*placeCompress)
+		if err != nil {
+			return err
+		}
+		scen := placement.DefaultScenario(app)
+		scen.FramesPerMinute = cfg.Constellation.FramesPerMinute
+		scen.Satellites = *satellites
+		scen.SpacePower = units.KW(*powerKW)
+		scen.Workers = workers
+		scen.ISLRate = cfg.ISLRate
+		scen.EdgeServers = *edgeServers
+		scen.LatencyWeight = *latencyWeight
+		if alg.Ratio > 1 {
+			scen.Compression = alg
+		}
+		pc, err := scen.Config(pol)
+		if err != nil {
+			return err
+		}
+		if *downlinkGbps > 0 {
+			pc.DownlinkRate = units.GbpsOf(*downlinkGbps)
+		}
+		cfg.Placement = pc
+	}
 	cfg.Obs = reg.Scope("netsim")
 	cfg.Trace = rec
 
@@ -266,6 +317,20 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  brownout time        %v (%.1f%%)\n",
 			s.BrownoutTime.Truncate(time.Second), 100*s.BrownoutTime.Seconds()/cfg.Duration.Seconds())
 		fmt.Fprintf(out, "  batches deferred     %d\n", s.BatchesDeferred)
+	}
+	if cfg.Placement != nil {
+		m := cfg.Placement.Model
+		fmt.Fprintf(out, "\n  placement (%s policy, downlink %v, latency weight $%g/frame-s)\n",
+			*placementPol, cfg.Placement.DownlinkRate, *latencyWeight)
+		fmt.Fprintf(out, "  %-12s %8s %12s %12s %12s\n", "tier", "frames", "mean", "p99", "$/frame")
+		for t := placement.Tier(0); t < placement.NumTiers; t++ {
+			fmt.Fprintf(out, "  %-12s %8d %12v %12v %12.4g\n", t.String(), s.TierFrames[t],
+				s.TierMeanLatency[t].Truncate(time.Millisecond),
+				s.TierP99Latency[t].Truncate(time.Millisecond),
+				m.Tiers[t].DollarsPerFrame)
+		}
+		fmt.Fprintf(out, "  realized mean cost   $%.4g/frame (oracle floor $%.4g)\n",
+			s.PlacedMeanCost, s.OracleMeanCost)
 	}
 	if s.KeptUp {
 		fmt.Fprintln(out, "\n  → the SµDC keeps up with the constellation")

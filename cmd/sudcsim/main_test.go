@@ -236,3 +236,41 @@ func TestHorizonYearsRunsSurvivability(t *testing.T) {
 		t.Error("survivability mode must not run the DES")
 	}
 }
+
+func TestPlacementFlag(t *testing.T) {
+	out := runSim(t, "-hours", "0.5", "-placement", "static-space")
+	for _, want := range []string{
+		"placement (static-space policy", "tier", "onboard", "ground-edge",
+		"realized mean cost", "oracle floor",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("placement output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlacementFlagOverrides(t *testing.T) {
+	out := runSim(t, "-hours", "0.5", "-placement", "greedy",
+		"-downlink-gbps", "2.5", "-edge-servers", "3", "-latency-weight", "1e-3",
+		"-place-compress", "neural")
+	if !strings.Contains(out, "downlink 2.5 Gbit/s") {
+		t.Errorf("downlink override not reflected:\n%s", out)
+	}
+}
+
+func TestPlacementBadPolicy(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-placement", "static-moon"}, &b); err == nil {
+		t.Error("unknown placement policy must error")
+	}
+	if err := run([]string{"-placement", "greedy", "-place-compress", "zstd"}, &b); err == nil {
+		t.Error("unknown compression must error")
+	}
+}
+
+func TestPlacementOffByDefault(t *testing.T) {
+	out := runSim(t, "-hours", "0.5")
+	if strings.Contains(out, "placement (") {
+		t.Errorf("placement block printed without -placement:\n%s", out)
+	}
+}

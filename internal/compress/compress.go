@@ -12,6 +12,7 @@ package compress
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"sudc/internal/units"
 )
@@ -50,6 +51,22 @@ var (
 // All returns the three paper algorithms, weakest ratio first.
 func All() []Algorithm { return []Algorithm{CCSDS, JPEG2000, Neural} }
 
+// ByName finds an algorithm by a flag-friendly short name — "none",
+// "ccsds", "jpeg2000", "neural" — or its full display name.
+func ByName(name string) (Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "", "none", "uncompressed":
+		return None, nil
+	case "ccsds":
+		return CCSDS, nil
+	case "jpeg2000", "lossless jpeg2000":
+		return JPEG2000, nil
+	case "neural", "neural quasi-lossless":
+		return Neural, nil
+	}
+	return Algorithm{}, fmt.Errorf("compress: unknown algorithm %q", name)
+}
+
 // Validate reports parameter errors.
 func (a Algorithm) Validate() error {
 	if a.Name == "" {
@@ -77,8 +94,15 @@ func (a Algorithm) CompressedRate(raw units.DataRate) (units.DataRate, error) {
 }
 
 // DecodePower returns the receiver-side decompression power when carrying
-// raw traffic of the given rate (decoded bits per second × J/bit).
+// raw traffic of the given rate (decoded bits per second × J/bit). Like
+// CompressedRate it rejects invalid inputs, but since decode power feeds
+// additively into TCO sums it clamps to zero instead of erroring: a
+// negative rate or malformed algorithm contributes no power rather than
+// a negative term that would silently *reduce* downstream cost.
 func (a Algorithm) DecodePower(raw units.DataRate) units.Power {
+	if a.Validate() != nil || raw < 0 {
+		return 0
+	}
 	return units.Power(float64(raw) * a.DecodeEnergyPerBit)
 }
 

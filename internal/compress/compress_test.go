@@ -82,6 +82,33 @@ func TestDecodePower(t *testing.T) {
 	}
 }
 
+func TestDecodePowerEdges(t *testing.T) {
+	// DecodePower feeds additively into TCO sums, so invalid inputs must
+	// clamp to zero: a negative result would silently reduce cost.
+	tests := []struct {
+		name string
+		alg  Algorithm
+		raw  units.DataRate
+		want float64
+	}{
+		{"nominal neural", Neural, units.GbpsOf(10), 50},
+		{"zero-energy None", None, units.GbpsOf(10), 0},
+		{"zero rate", Neural, 0, 0},
+		{"negative raw rate", Neural, units.DataRate(-1e9), 0},
+		{"invalid ratio", Algorithm{Name: "bad", Ratio: 0.5, DecodeEnergyPerBit: 1e-9}, units.GbpsOf(1), 0},
+		{"negative decode energy", Algorithm{Name: "neg", Ratio: 2, DecodeEnergyPerBit: -1e-9}, units.GbpsOf(1), 0},
+	}
+	for _, tc := range tests {
+		got := tc.alg.DecodePower(tc.raw).Watts()
+		if !units.ApproxEqual(got, tc.want, 1e-9) {
+			t.Errorf("%s: DecodePower = %v W, want %v", tc.name, got, tc.want)
+		}
+		if got < 0 {
+			t.Errorf("%s: negative decode power %v W would reduce TCO", tc.name, got)
+		}
+	}
+}
+
 func TestLosslessFlags(t *testing.T) {
 	if !CCSDS.Lossless || !JPEG2000.Lossless {
 		t.Error("CCSDS and JPEG2000 are lossless")
@@ -107,5 +134,24 @@ func TestCompressedRateNeverIncreases(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]Algorithm{
+		"":         None,
+		"none":     None,
+		"ccsds":    CCSDS,
+		"CCSDS":    CCSDS,
+		"jpeg2000": JPEG2000,
+		"neural":   Neural,
+	} {
+		got, err := ByName(name)
+		if err != nil || got.Name != want.Name {
+			t.Errorf("ByName(%q) = %v, %v; want %v", name, got.Name, err, want.Name)
+		}
+	}
+	if _, err := ByName("zstd"); err == nil {
+		t.Error("unknown algorithm accepted")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sudc/internal/orbit"
+	"sudc/internal/par"
 	"sudc/internal/thermal"
 	"sudc/internal/units"
 )
@@ -333,6 +334,26 @@ func TestSurviveDeterministicAndMonotone(t *testing.T) {
 	if math.Abs(r.CapacityAvailability-r.Availability) > 1e-9 {
 		t.Errorf("no-aging severity-0 capacity availability %v must equal head-count %v",
 			r.CapacityAvailability, r.Availability)
+	}
+}
+
+func TestSurviveTrialWeekBuckets(t *testing.T) {
+	// Regression: the trial loop used to advance program time by repeated
+	// float addition (t += 1/52), so accumulated rounding error made
+	// int(t) misbucket year-boundary weeks — year 0 absorbed week 52 —
+	// and the loop could run a step long or short over a multi-year
+	// horizon. With the integer week index every year must hold exactly
+	// 52 weekly steps.
+	cfg := DefaultSurvivalConfig(0)
+	years := int(math.Ceil(float64(cfg.Policy.Horizon)))
+	a := cfg.trial(par.ForkRand(cfg.Seed, 0), 1, years)
+	if got, want := a.steps, float64(years)*52; got != want {
+		t.Errorf("trial ran %v weekly steps over %d years, want %v", got, years, want)
+	}
+	for y := 0; y < years; y++ {
+		if a.yearSteps[y] != 52 {
+			t.Errorf("year %d accumulated %v weekly steps, want 52", y, a.yearSteps[y])
+		}
 	}
 }
 

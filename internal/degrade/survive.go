@@ -181,7 +181,13 @@ func (cfg SurvivalConfig) trial(rng *rand.Rand, capFactor float64, years int) tr
 	fleet := make([]float64, size) // ages of flying satellites
 	a.built = float64(size)
 	var pending []float64
-	for t := 0.0; t < horizon; t += dt {
+	// Integer week index: repeated float addition (t += dt) accumulates
+	// rounding error that misbuckets year-boundary weeks and can run the
+	// loop a step long or short over a multi-year horizon. Deriving t
+	// from the week counter keeps every year at exactly 52 steps.
+	steps := int(math.Round(horizon * 52))
+	for w := 0; w < steps; w++ {
+		t := float64(w) * dt
 		// Deliver arrivals.
 		keep := pending[:0]
 		for _, at := range pending {
@@ -222,7 +228,7 @@ func (cfg SurvivalConfig) trial(rng *rand.Rand, capFactor float64, years int) tr
 		for _, age := range fleet {
 			capSum += capFactor * math.Pow(aging, age)
 		}
-		y := int(t)
+		y := w / 52
 		if y >= years {
 			y = years - 1
 		}

@@ -33,6 +33,7 @@ func Extensions() []Experiment {
 		{"Extension E8", "Walker topology scaling through the sharded conservative-lookahead DES", ExtShardedTopology},
 		{"Extension E9", "COTS degradation: throttle severity × eclipse fraction vs fault-only availability", ExtDegradation},
 		{"Extension E10", "compressed-horizon survivability under degradation and fleet lifecycle", ExtSurvivability},
+		{"Extension E11", "when to compute in space: four-tier placement frontier vs bent pipe", ExtPlacement},
 	}
 }
 

@@ -7,8 +7,8 @@ import (
 
 func TestAllExtensionsRun(t *testing.T) {
 	ext := Extensions()
-	if len(ext) != 10 {
-		t.Fatalf("have %d extensions, want 10", len(ext))
+	if len(ext) != 11 {
+		t.Fatalf("have %d extensions, want 11", len(ext))
 	}
 	for _, e := range ext {
 		tbl, err := e.Run()

@@ -149,13 +149,15 @@ const frameIDBits = 40
 
 // resetTopo prepares the pooled simulator to run one compiled cell.
 // The caller has already scoped c.Obs / c.Trace to the cell and built
-// the cell's fault schedule over its own workers and links.
-func (s *simulator) resetTopo(c Config, p *cellPlan, sched faults.Schedule, deg *degrade.Schedule, cell int) {
+// the cell's fault schedule over its own workers and links; cells is
+// the total cell count, which splits the shared placement downlink.
+func (s *simulator) resetTopo(c Config, p *cellPlan, sched faults.Schedule, deg *degrade.Schedule, cell, cells int) {
 	s.resetCommon(c, s.ownRand, p.workers)
 	s.topoMode = true
 	s.setDegrade(deg)
 	s.need = p.workers
 	s.totalSats = p.sats
+	s.setPlacement(c.Placement, cells)
 	s.frameID = int64(cell) << frameIDBits
 
 	s.links = resizeLinks(s.links, len(p.links))

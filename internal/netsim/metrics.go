@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"sudc/internal/obs"
+	"sudc/internal/placement"
 )
 
 // DefaultSampleEvery is the simulated-time sampling period for the
@@ -18,19 +19,25 @@ var (
 
 // eventNames maps event kinds to observability counter names.
 var eventNames = [...]string{
-	evFrameReady:  "events/frame_ready",
-	evISLDone:     "events/isl_done",
-	evBatchDone:   "events/batch_done",
-	evBatchingOut: "events/batch_timeout",
-	evISLRetry:    "events/isl_retry",
-	evOutageStart: "events/outage_start",
-	evOutageEnd:   "events/outage_end",
-	evWorkerDeath: "events/worker_death",
-	evSEFIStart:   "events/sefi_start",
-	evSEFIEnd:     "events/sefi_end",
-	evArrive:      "events/arrive",
-	evArriveMsg:   "events/arrive_msg",
-	evPhase:       "events/phase",
+	evFrameReady:   "events/frame_ready",
+	evISLDone:      "events/isl_done",
+	evBatchDone:    "events/batch_done",
+	evBatchingOut:  "events/batch_timeout",
+	evISLRetry:     "events/isl_retry",
+	evOutageStart:  "events/outage_start",
+	evOutageEnd:    "events/outage_end",
+	evWorkerDeath:  "events/worker_death",
+	evSEFIStart:    "events/sefi_start",
+	evSEFIEnd:      "events/sefi_end",
+	evArrive:       "events/arrive",
+	evArriveMsg:    "events/arrive_msg",
+	evPhase:        "events/phase",
+	evOnboardDone:  "events/onboard_done",
+	evDownlinkDone: "events/downlink_done",
+	evEdgeArrive:   "events/edge_arrive",
+	evCloudArrive:  "events/cloud_arrive",
+	evEdgeDone:     "events/edge_done",
+	evCloudDone:    "events/cloud_done",
 }
 
 // sampleState is the simulator state visible to the series sampler at
@@ -73,6 +80,9 @@ type recorder struct {
 	// stay byte-identical to the pre-degradation exports.
 	rateMult *obs.Series
 	powered  *obs.Series
+
+	// Registered only for placement runs, same discipline.
+	dlDepth *obs.Series
 }
 
 // newRecorder builds the run's recorder. The caller configures the
@@ -104,6 +114,9 @@ func newRecorder(reg *obs.Registry, every time.Duration, sim *simulator) *record
 		r.rateMult = reg.Series("throttle/rate_mult")
 		r.powered = reg.Series("workers/powered")
 	}
+	if sim.place != nil {
+		r.dlDepth = reg.Series("downlink/depth")
+	}
 	return r
 }
 
@@ -121,6 +134,9 @@ func (r *recorder) record(s sampleState) {
 	if r.rateMult != nil {
 		r.rateMult.Sample(s.t, s.rateMult)
 		r.powered.Sample(s.t, float64(s.powered))
+	}
+	if r.dlDepth != nil {
+		r.dlDepth.Sample(s.t, float64(r.sim.dlQueue.len()))
 	}
 }
 
@@ -164,5 +180,12 @@ func (r *recorder) flush(reg *obs.Registry, s Stats, evCount []int64) {
 		reg.Gauge("throttle/mean_rate_mult").Set(s.MeanRateMult)
 		reg.Gauge("throttle/time_s").Set(s.ThrottledTime.Seconds())
 		reg.Gauge("brownout/time_s").Set(s.BrownoutTime.Seconds())
+	}
+	if r.sim.place != nil {
+		for t := placement.Tier(0); t < placement.NumTiers; t++ {
+			reg.Counter("placed/" + t.String()).Add(int64(s.TierFrames[t]))
+		}
+		reg.Gauge("placed/mean_cost").Set(s.PlacedMeanCost)
+		reg.Gauge("placed/oracle_cost").Set(s.OracleMeanCost)
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"sudc/internal/obs"
 	"sudc/internal/obs/trace"
 	"sudc/internal/par"
+	"sudc/internal/placement"
 	"sudc/internal/topo"
 	"sudc/internal/units"
 	"sudc/internal/workload"
@@ -142,6 +143,21 @@ type Config struct {
 	// sunlit power — the deadline-aware deferral policy. Full batches
 	// still dispatch on the surviving powered workers. Requires Degrade.
 	DeferInEclipse bool
+
+	// Placement, when non-nil, enables the multi-tier compute-placement
+	// engine: at capture time each frame is routed by the configured
+	// policy to one of four compute tiers — the capturing satellite's
+	// flight computer, the orbital SµDC (the legacy ISL/batch pipeline),
+	// a ground-station edge site behind the shared downlink, or the
+	// terrestrial cloud behind the WAN — and the run reports per-tier
+	// frame counts, latency, and realized $/frame. Routing decisions are
+	// pure functions of the model and the observed queue state (no RNG
+	// draws, no seed events), so a Static-to-space policy replays the
+	// placement-free frame flow byte for byte, modulo the placement-only
+	// Stats fields and "placed" trace lines. In topology mode the
+	// configured downlink rate is split evenly across cells and each
+	// cell gets its own EdgeServers-sized edge pool.
+	Placement *placement.Config
 
 	// Trace, when non-nil, receives the run's frame-lineage flight
 	// recording: the full per-frame lifecycle (capture, ISL transfer,
@@ -278,6 +294,9 @@ func (c Config) Validate() error {
 	if c.ThrottleShed && c.ShedThreshold == 0 {
 		return errors.New("netsim: ThrottleShed requires an enabled ShedThreshold")
 	}
+	if err := c.Placement.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -344,6 +363,20 @@ type Stats struct {
 	// for legacy (nil-Topology) runs and for topologies whose cells are
 	// self-contained.
 	CrossShardFrames int
+
+	// TierFrames counts completed frames per placement tier, and
+	// TierMeanLatency / TierP99Latency / TierDollars break end-to-end
+	// latency and amortized spend down by tier. PlacedMeanCost is the
+	// realized mean per-frame cost (tier dollars plus latency-weighted
+	// end-to-end latency) and OracleMeanCost the analytic per-frame
+	// floor min over tiers of the load-free static cost — no realized
+	// policy can beat it. All zero without Config.Placement.
+	TierFrames      [placement.NumTiers]int
+	TierMeanLatency [placement.NumTiers]time.Duration
+	TierP99Latency  [placement.NumTiers]time.Duration
+	TierDollars     [placement.NumTiers]float64
+	PlacedMeanCost  float64
+	OracleMeanCost  float64
 }
 
 // event kinds.
@@ -361,6 +394,16 @@ const (
 	evArrive             // a frame finished propagating an intra-cell edge
 	evArriveMsg          // a cross-cell message frame arrives in this cell
 	evPhase              // the degradation schedule advances to its next phase
+
+	// Placement-engine events. Appended after the legacy kinds so the
+	// placement-free event numbering (and every golden keyed to it) is
+	// untouched.
+	evOnboardDone  // a satellite flight computer finished a frame
+	evDownlinkDone // a ground-bound frame finished crossing the downlink
+	evEdgeArrive   // a downlinked frame reached the ground-edge site
+	evCloudArrive  // a downlinked frame reached the cloud
+	evEdgeDone     // a ground-edge server finished a frame
+	evCloudDone    // the cloud finished a frame
 )
 
 type event struct {
@@ -377,6 +420,7 @@ type frame struct {
 	born  float64 // generation time, s
 	value float64 // analyzer value draw in [0,1): the top InsightFraction quantile is an insight
 	tries int     // failed ISL transmission attempts
+	tier  int8    // placement.Tier the frame was routed to (placement runs only)
 }
 
 // workerState is one GPU node's health and service state.

@@ -1,0 +1,310 @@
+package netsim
+
+// Tests for the compute-placement wiring: the identity fast path
+// (static-to-space replays the placement-free run byte for byte), the
+// determinism pins (worker- and shard-count invariance with placement
+// enabled), conservation and the Oracle lower bound across policies,
+// and the low-load analytic anchor E11 cross-checks.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sudc/internal/obs"
+	"sudc/internal/obs/trace"
+	"sudc/internal/placement"
+	"sudc/internal/topo"
+	"sudc/internal/units"
+	"sudc/internal/workload"
+)
+
+// placeModel prices the four tiers with round numbers whose ordering
+// puts greedy on the space tier: space is cheapest, cloud next, edge
+// dearest; the latency weight makes the queue-aware policy sensitive
+// to backlog.
+func placeModel() placement.Model {
+	return placement.Model{
+		LatencyWeight: 1e-3,
+		Tiers: [placement.NumTiers]placement.TierCost{
+			placement.TierOnboard:    {DollarsPerFrame: 0.020, TransportDelay: 0, ServiceTime: 1, Servers: 2},
+			placement.TierSpace:      {DollarsPerFrame: 0.002, TransportDelay: 0.05, ServiceTime: 0.5, Servers: 5},
+			placement.TierGroundEdge: {DollarsPerFrame: 0.090, TransportDelay: 120, ServiceTime: 1, Servers: 4},
+			placement.TierCloud:      {DollarsPerFrame: 0.030, TransportDelay: 120.06, ServiceTime: 1, Servers: 0},
+		},
+	}
+}
+
+// placeConfig is the shared placement configuration over the
+// degradeBase scenario: a 5 Gbps downlink, a 2-minute mean pass wait,
+// and a 60 ms WAN hop.
+func placeConfig(p placement.Policy) *placement.Config {
+	return &placement.Config{
+		Policy:       p,
+		Model:        placeModel(),
+		DownlinkRate: units.GbpsOf(5),
+		AccessDelay:  2 * time.Minute,
+		WANDelay:     60 * time.Millisecond,
+		EdgeServers:  4,
+	}
+}
+
+// stripPlacement zeroes the placement-only Stats fields so a placed
+// run can be compared against a placement-free reference.
+func stripPlacement(s Stats) Stats {
+	s.TierFrames = [placement.NumTiers]int{}
+	s.TierMeanLatency = [placement.NumTiers]time.Duration{}
+	s.TierP99Latency = [placement.NumTiers]time.Duration{}
+	s.TierDollars = [placement.NumTiers]float64{}
+	s.PlacedMeanCost = 0
+	s.OracleMeanCost = 0
+	return s
+}
+
+// dropLines removes every line containing any of the substrings.
+func dropLines(s string, subs ...string) string {
+	lines := strings.Split(s, "\n")
+	out := lines[:0]
+outer:
+	for _, l := range lines {
+		for _, sub := range subs {
+			if strings.Contains(l, sub) {
+				continue outer
+			}
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestPlacementStaticSpaceByteIdentical(t *testing.T) {
+	// Static-to-space routes every frame down the legacy ISL path and
+	// draws no randomness, so the run must replay the placement-free
+	// event sequence bit for bit: identical Stats modulo the
+	// placement-only fields, identical trace modulo the "placed" lines,
+	// and identical metric snapshot modulo the placement-only series
+	// and counters.
+	c := degradeBase()
+	c.Faults = degradeFaults
+	c.RetryLimit = 3
+	c.ShedThreshold = 40
+	refStats, refSnap, refJSONL := exports(t, c)
+
+	p := c
+	p.Placement = placeConfig(placement.Policy{Kind: placement.Static, StaticTier: placement.TierSpace})
+	s, snap, jsonl := exports(t, p)
+
+	if s.TierFrames[placement.TierSpace] != s.FramesProcessed {
+		t.Errorf("static-to-space put %d frames on the space tier, processed %d",
+			s.TierFrames[placement.TierSpace], s.FramesProcessed)
+	}
+	if got := stripPlacement(s); got != refStats {
+		t.Errorf("static-to-space stats differ from placement-free run:\n ref %+v\n got %+v", refStats, got)
+	}
+	if got := dropLines(jsonl, `"k":"placed"`); got != refJSONL {
+		t.Error("static-to-space trace differs from placement-free run beyond the placed lines")
+	}
+	if got := dropLines(snap, "placed/", "downlink/"); got != refSnap {
+		t.Error("static-to-space snapshot differs from placement-free run beyond placement series")
+	}
+}
+
+func TestPlacementWorkerCountInvariance(t *testing.T) {
+	// Placement decisions are pure functions of per-cell simulator
+	// state, so the replica engine's worker count must not change a
+	// byte: stats, merged snapshot, and trace export all identical at
+	// workers 1, 2, and 8.
+	c := degradeBase()
+	c.Faults = degradeFaults
+	c.RetryLimit = 3
+	c.ShedThreshold = 40
+	c.Placement = placeConfig(placement.Policy{Kind: placement.QueueAware})
+
+	run := func(workers int) ([]Stats, string, string) {
+		reg := obs.New()
+		rec := trace.New(0)
+		cc := c
+		cc.Obs = reg.Scope("netsim")
+		cc.Trace = rec
+		stats, err := RunReplicas(cc, 3, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jsonl strings.Builder
+		if err := rec.WriteJSONL(&jsonl); err != nil {
+			t.Fatal(err)
+		}
+		return stats, reg.Snapshot().String(), jsonl.String()
+	}
+
+	refStats, refSnap, refJSONL := run(1)
+	for _, w := range []int{2, 8} {
+		stats, snap, jsonl := run(w)
+		for r := range stats {
+			if stats[r] != refStats[r] {
+				t.Errorf("workers=%d replica %d stats differ:\n ref %+v\n got %+v", w, r, refStats[r], stats[r])
+			}
+		}
+		if snap != refSnap {
+			t.Errorf("workers=%d metric snapshot differs", w)
+		}
+		if jsonl != refJSONL {
+			t.Errorf("workers=%d trace export differs", w)
+		}
+	}
+}
+
+func TestPlacementShardCountInvariance(t *testing.T) {
+	// Placement state is per-cell and the downlink splits evenly across
+	// cells by construction, so the sharded runner's byte-identity
+	// contract extends to placed runs: Stats identical at shards 1, 2,
+	// and 8.
+	g, err := topo.Walker(4, 16, 8, 2, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := TopologyConfig(workload.Suite[0], g)
+	c.Duration = 30 * time.Minute
+	c.Faults = topoFaults
+	c.RetryLimit = 4
+	c.ShedThreshold = 200
+	c.Placement = placeConfig(placement.Policy{Kind: placement.QueueAware})
+	c.Shards = 1
+	ref, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.FramesProcessed == 0 {
+		t.Fatal("placed topology run processed no frames")
+	}
+	for _, sh := range []int{2, 8} {
+		cc := c
+		cc.Shards = sh
+		s, err := Run(cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != ref {
+			t.Errorf("shards=%d stats differ:\n ref %+v\n got %+v", sh, ref, s)
+		}
+	}
+}
+
+func TestPlacementConservationAndOracleBound(t *testing.T) {
+	// Every policy must conserve frames across tiers (ΣTierFrames =
+	// FramesProcessed, on top of the global conservation identity) and
+	// realize a mean cost no better than the analytic Oracle floor.
+	policies := []placement.Policy{
+		{Kind: placement.Static, StaticTier: placement.TierOnboard},
+		{Kind: placement.Static, StaticTier: placement.TierGroundEdge},
+		{Kind: placement.Static, StaticTier: placement.TierCloud},
+		{Kind: placement.GreedyCost},
+		{Kind: placement.QueueAware},
+		{Kind: placement.Oracle},
+	}
+	for _, p := range policies {
+		name := p.Kind.String()
+		if p.Kind == placement.Static {
+			name += "-" + p.StaticTier.String()
+		}
+		t.Run(name, func(t *testing.T) {
+			c := degradeBase()
+			c.Placement = placeConfig(p)
+			s, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			conserve(t, s)
+			if s.FramesProcessed == 0 {
+				t.Fatal("no frames processed")
+			}
+			total := 0
+			for _, n := range s.TierFrames {
+				total += n
+			}
+			if total != s.FramesProcessed {
+				t.Errorf("tier frames sum to %d, processed %d", total, s.FramesProcessed)
+			}
+			if s.OracleMeanCost <= 0 {
+				t.Errorf("oracle mean cost %v, want > 0", s.OracleMeanCost)
+			}
+			if s.PlacedMeanCost < s.OracleMeanCost*(1-1e-12) {
+				t.Errorf("%s realized mean cost %v beats the oracle floor %v", name, s.PlacedMeanCost, s.OracleMeanCost)
+			}
+			for tier, n := range s.TierFrames {
+				if n > 0 && s.TierMeanLatency[tier] <= 0 {
+					t.Errorf("%s: tier %v served %d frames with non-positive mean latency", name, placement.Tier(tier), n)
+				}
+				if n > 0 && s.TierP99Latency[tier] < s.TierMeanLatency[tier]/2 {
+					t.Errorf("%s: tier %v p99 %v implausibly below mean %v", name, placement.Tier(tier), s.TierP99Latency[tier], s.TierMeanLatency[tier])
+				}
+			}
+		})
+	}
+}
+
+func TestPlacementLowLoadMatchesAnalytic(t *testing.T) {
+	// The E11 analytic anchor at package level: at ~10% utilization the
+	// realized per-tier mean latency must sit on the transport+service
+	// floor (queueing wait ≈ 0), in agreement with MMcWait at the same
+	// load. The space tier is excluded: its legacy path batches frames,
+	// which the four-tier queue model deliberately does not price.
+	c := degradeBase()
+	pc := placeConfig(placement.Policy{Kind: placement.Static})
+	lambda := c.Constellation.FramesPerMinute / 60 * float64(c.Constellation.Satellites)
+
+	dlSend := workload.Suite[0].FrameBits() / float64(pc.DownlinkRate)
+	floors := map[placement.Tier]float64{
+		placement.TierOnboard: pc.Model.Tiers[placement.TierOnboard].ServiceTime,
+		placement.TierGroundEdge: dlSend + pc.AccessDelay.Seconds() +
+			pc.Model.Tiers[placement.TierGroundEdge].ServiceTime,
+		placement.TierCloud: dlSend + pc.AccessDelay.Seconds() + pc.WANDelay.Seconds() +
+			pc.Model.Tiers[placement.TierCloud].ServiceTime,
+	}
+	for tier, floor := range floors {
+		cc := c
+		cc.Placement = placeConfig(placement.Policy{Kind: placement.Static, StaticTier: tier})
+		s, err := Run(cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.TierFrames[tier] != s.FramesProcessed || s.FramesProcessed == 0 {
+			t.Fatalf("static-to-%v served %d of %d frames", tier, s.TierFrames[tier], s.FramesProcessed)
+		}
+		got := s.TierMeanLatency[tier].Seconds()
+		if !units.ApproxEqual(got, floor, 0.02) {
+			t.Errorf("%v mean latency %.3fs off the analytic floor %.3fs", tier, got, floor)
+		}
+		// The M/M/c model agrees the wait is negligible at this load.
+		tc := pc.Model.Tiers[tier]
+		servers := tc.Servers
+		if servers == 0 {
+			servers = 1 << 20 // elastic
+		}
+		if w := placement.MMcWait(lambda, 1/tc.ServiceTime, servers); w > 0.05*floor {
+			t.Errorf("%v: M/M/c wait %.3fs not negligible against floor %.3fs — test scenario overloaded", tier, w, floor)
+		}
+	}
+}
+
+func TestPlacementConfigValidation(t *testing.T) {
+	c := degradeBase()
+	c.Placement = placeConfig(placement.Policy{Kind: placement.GreedyCost})
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid placed config rejected: %v", err)
+	}
+	bad := c
+	badPC := *c.Placement
+	badPC.DownlinkRate = 0
+	bad.Placement = &badPC
+	if err := bad.Validate(); err == nil {
+		t.Error("zero downlink rate accepted")
+	}
+	bad = c
+	badPC = *c.Placement
+	badPC.Policy.Kind = placement.Kind(99)
+	bad.Placement = &badPC
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid policy kind accepted")
+	}
+}

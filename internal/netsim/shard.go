@@ -27,7 +27,9 @@ import (
 
 	"sudc/internal/degrade"
 	"sudc/internal/faults"
+	"sudc/internal/obs/latency"
 	"sudc/internal/par"
+	"sudc/internal/placement"
 	"sudc/internal/units"
 )
 
@@ -46,6 +48,10 @@ type shardRunner struct {
 	weights []int // per-cell worker counts, for merging
 	linksN  []int // per-cell link counts
 	allLat  []float64
+
+	// Placement merge accumulators (unused without Config.Placement).
+	tierLat   [placement.NumTiers][]float64
+	placeCost float64
 }
 
 // newShardRunner builds the per-cell simulators. A single-cell
@@ -102,7 +108,7 @@ func newShardRunner(c Config, plans []cellPlan, deg *degrade.Schedule) (*shardRu
 			s.ownRand.Seed(cc.Seed)
 		}
 		r.sims = append(r.sims, s)
-		s.resetTopo(cc, p, sched, deg, i)
+		s.resetTopo(cc, p, sched, deg, i, len(plans))
 		r.weights[i] = p.workers
 		r.linksN[i] = len(p.links)
 	}
@@ -217,6 +223,17 @@ func (r *shardRunner) finish() Stats {
 		totalWorkers += r.weights[i]
 		totalLinks += r.linksN[i]
 		r.allLat = append(r.allLat, s.latencies...)
+		if s.place != nil {
+			// The per-tier latency distributions are recomputed over the
+			// merged samples, exactly like the global distribution.
+			for t := range s.tierLats {
+				out.TierFrames[t] += cs.TierFrames[t]
+				out.TierDollars[t] += cs.TierDollars[t]
+				r.tierLat[t] = append(r.tierLat[t], s.tierLats[t]...)
+			}
+			r.placeCost += s.placeCostSum
+			out.OracleMeanCost = cs.OracleMeanCost
+		}
 		putSim(s)
 	}
 	// A frame that crossed cells counts +1 in its producer's generated
@@ -240,6 +257,24 @@ func (r *shardRunner) finish() Stats {
 		}
 		out.MeanLatency = time.Duration(sum / float64(len(r.allLat)) * float64(time.Second))
 		out.P95Latency = time.Duration(r.allLat[int(float64(len(r.allLat))*0.95)] * float64(time.Second))
+	}
+	if r.c.Placement != nil {
+		for t := range r.tierLat {
+			v := r.tierLat[t]
+			if len(v) == 0 {
+				continue
+			}
+			sort.Float64s(v)
+			var sum float64
+			for _, l := range v {
+				sum += l
+			}
+			out.TierMeanLatency[t] = time.Duration(sum / float64(len(v)) * float64(time.Second))
+			out.TierP99Latency[t] = time.Duration(latency.Quantile(v, 0.99) * float64(time.Second))
+		}
+		if out.FramesProcessed > 0 {
+			out.PlacedMeanCost = r.placeCost / float64(out.FramesProcessed)
+		}
 	}
 	out.KeptUp = out.Backlog <= 2*r.c.BatchSize*totalWorkers
 	return out

@@ -11,6 +11,7 @@ import (
 	"sudc/internal/degrade"
 	"sudc/internal/faults"
 	"sudc/internal/obs/trace"
+	"sudc/internal/placement"
 	"sudc/internal/units"
 )
 
@@ -164,6 +165,37 @@ type simulator struct {
 	topoMode bool
 	frameID  int64
 
+	// Placement engine (place == nil when the run has no placement;
+	// every hot-path hook then reduces to one nil check). All service
+	// times per tier are constants, so each tier's in-service frames
+	// complete in dispatch order and a single FIFO deque per tier
+	// suffices — no per-server state.
+	place          *placement.Config
+	pmodel         placement.Model
+	queueLen       [placement.NumTiers]int // frames waiting or in service per tier
+	onboardQ       frameDeque              // frames waiting for a flight computer
+	onboardRun     frameDeque              // frames in flight-computer service, FIFO
+	onboardBusy    int
+	onboardServers int        // the cell's satellite count: one flight computer each
+	dlQueue        frameDeque // ground-bound frames waiting for (or crossing) the downlink
+	dlSending      bool
+	edgeWait       frameDeque // downlinked frames in access+propagation to the edge
+	cloudWait      frameDeque // downlinked frames in access+WAN to the cloud
+	edgeQ          frameDeque // frames waiting for an edge server
+	edgeRun        frameDeque // frames in edge service, FIFO
+	edgeBusy       int
+	cloudRun       frameDeque // frames in (elastic) cloud service, FIFO
+	dlSendTime     float64    // per-frame downlink transmission time, s
+	accessDelay    float64    // mean wait for a usable ground pass, s
+	wanDelay       float64    // ground-station-to-cloud backhaul, s
+	onboardSvc     float64    // per-tier unloaded service times, s
+	edgeSvc        float64
+	cloudSvc       float64
+	tierLats       [placement.NumTiers][]float64
+	tierFrames     [placement.NumTiers]int
+	tierDollars    [placement.NumTiers]float64
+	placeCostSum   float64 // Σ realized per-frame cost over completed frames
+
 	// Degradation replay (deg == nil when the run is degradation-free;
 	// every hot-path hook below then reduces to one nil/false check).
 	deg          *degrade.Schedule
@@ -192,6 +224,7 @@ func putSim(s *simulator) {
 	s.rec = nil
 	s.tr = nil
 	s.rng.src = nil
+	s.place = nil
 	simPool.Put(s)
 }
 
@@ -312,6 +345,26 @@ func (s *simulator) resetCommon(c Config, src *rand.Rand, workers int) {
 	s.stats = Stats{}
 	s.now = 0
 
+	s.place = nil
+	s.queueLen = [placement.NumTiers]int{}
+	s.onboardQ.reset()
+	s.onboardRun.reset()
+	s.onboardBusy, s.onboardServers = 0, 0
+	s.dlQueue.reset()
+	s.dlSending = false
+	s.edgeWait.reset()
+	s.cloudWait.reset()
+	s.edgeQ.reset()
+	s.edgeRun.reset()
+	s.edgeBusy = 0
+	s.cloudRun.reset()
+	for i := range s.tierLats {
+		s.tierLats[i] = s.tierLats[i][:0]
+	}
+	s.tierFrames = [placement.NumTiers]int{}
+	s.tierDollars = [placement.NumTiers]float64{}
+	s.placeCostSum = 0
+
 	s.deg = nil
 	s.degPhase = 0
 	s.rateMult = 1
@@ -391,6 +444,7 @@ func (s *simulator) reset(c Config, sched faults.Schedule, deg *degrade.Schedule
 		s.need = c.Workers
 	}
 	s.totalSats = c.Constellation.Satellites
+	s.setPlacement(c.Placement, 1)
 
 	s.links = resizeLinks(s.links, 1)
 	l := &s.links[0]
@@ -580,6 +634,9 @@ func (s *simulator) failHead(ei int) {
 		}
 		l.queue.popFront()
 		s.stats.FramesLost++
+		if s.place != nil {
+			s.queueLen[placement.TierSpace]--
+		}
 		return
 	}
 	s.stats.FramesRetried++
@@ -643,6 +700,9 @@ func (s *simulator) addToInput(si int, f frame) {
 		}
 		in.removeAt(low)
 		s.stats.FramesShed++
+		if s.place != nil {
+			s.queueLen[placement.TierSpace]--
+		}
 	}
 	if in.len() > s.stats.MaxInputQueue {
 		s.stats.MaxInputQueue = in.len()
@@ -822,13 +882,21 @@ func (s *simulator) apply(e event) {
 	case evFrameReady:
 		s.stats.FramesGenerated++
 		s.frameID++
-		ei := s.satEdge[e.who]
-		s.links[ei].queue.pushBack(frame{id: s.frameID, born: s.now, value: s.rng.Float64()})
+		// The value draw stays immediately before the jitter draw and the
+		// placement decision draws nothing, so the RNG stream is identical
+		// with and without placement.
+		f := frame{id: s.frameID, born: s.now, value: s.rng.Float64()}
 		if s.tr != nil {
 			s.tr.Record(trace.Event{T: s.now, Kind: trace.FrameCaptured,
-				Frame: s.frameID, Node: e.who})
+				Frame: f.id, Node: e.who})
 		}
-		s.attemptISL(ei)
+		if s.place == nil {
+			ei := s.satEdge[e.who]
+			s.links[ei].queue.pushBack(f)
+			s.attemptISL(ei)
+		} else {
+			s.route(f, e.who)
+		}
 		// Next frame from this satellite, with 5% timing jitter.
 		jitter := 1 + 0.1*(s.rng.Float64()-0.5)
 		s.push(event{at: s.now + s.framePeriod*jitter, kind: evFrameReady, who: e.who})
@@ -851,6 +919,11 @@ func (s *simulator) apply(e event) {
 			// The frame leaves this cell: it becomes a timestamped
 			// message the shard runner delivers at the next barrier.
 			s.crossSent++
+			if s.place != nil {
+				// The frame leaves this cell's space queue; the consumer
+				// cell counts it back in on arrival.
+				s.queueLen[placement.TierSpace]--
+			}
 			s.outbox = append(s.outbox, shardMsg{
 				at: s.now + l.delay, f: f, cell: l.destCell, target: l.crossTo})
 			s.attemptISL(ei)
@@ -893,6 +966,9 @@ func (s *simulator) apply(e event) {
 		s.freeSlots = append(s.freeSlots, e.who)
 		s.crossRecv++
 		s.stats.CrossShardFrames++
+		if s.place != nil {
+			s.queueLen[placement.TierSpace]++
+		}
 		if m.target >= 0 {
 			s.links[m.target].queue.pushBack(m.f)
 			s.attemptISL(m.target)
@@ -1037,6 +1113,9 @@ func (s *simulator) apply(e event) {
 				s.tr.Record(trace.Event{T: s.now, Kind: trace.ComputeEnd,
 					Frame: f.id, Node: e.who})
 			}
+			if s.place != nil {
+				s.accountTier(placement.Tier(f.tier), s.now-f.born)
+			}
 			if f.value >= 1-s.c.InsightFraction {
 				s.stats.InsightsDownlinked++
 				if s.tr != nil {
@@ -1069,6 +1148,43 @@ func (s *simulator) apply(e event) {
 
 	case evPhase:
 		s.applyPhase(e.who)
+
+	case evOnboardDone:
+		f := s.onboardRun.popFront()
+		s.onboardBusy--
+		s.completePlaced(f)
+		if s.onboardQ.len() > 0 {
+			s.onboardBusy++
+			s.startPlaced(&s.onboardRun, s.onboardQ.popFront(), evOnboardDone, s.onboardSvc)
+		}
+
+	case evDownlinkDone:
+		s.downlinkDone()
+
+	case evEdgeArrive:
+		f := s.edgeWait.popFront()
+		if s.edgeBusy < s.place.EdgeServers {
+			s.edgeBusy++
+			s.startPlaced(&s.edgeRun, f, evEdgeDone, s.edgeSvc)
+		} else {
+			s.edgeQ.pushBack(f)
+		}
+
+	case evCloudArrive:
+		// The elastic cloud never queues: service starts on arrival.
+		s.startPlaced(&s.cloudRun, s.cloudWait.popFront(), evCloudDone, s.cloudSvc)
+
+	case evEdgeDone:
+		f := s.edgeRun.popFront()
+		s.edgeBusy--
+		s.completePlaced(f)
+		if s.edgeQ.len() > 0 {
+			s.edgeBusy++
+			s.startPlaced(&s.edgeRun, s.edgeQ.popFront(), evEdgeDone, s.edgeSvc)
+		}
+
+	case evCloudDone:
+		s.completePlaced(s.cloudRun.popFront())
 	}
 }
 
@@ -1115,6 +1231,9 @@ func (s *simulator) finish() Stats {
 		stats.MeanRateMult = s.rateMultInt / s.horizon
 		stats.ThrottledTime = time.Duration(s.throttledSum * float64(time.Second))
 		stats.BrownoutTime = time.Duration(s.brownoutSum * float64(time.Second))
+	}
+	if s.place != nil {
+		s.finishPlacement(&stats)
 	}
 	if s.rec != nil {
 		s.rec.flush(s.c.Obs, stats, s.evCount[:])

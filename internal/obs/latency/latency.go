@@ -73,6 +73,10 @@ type Frame struct {
 	// Outcome is "downlinked", "processed", "shed", "lost", or
 	// "in-flight".
 	Outcome string
+	// Tier is the compute tier the placement engine routed the frame to
+	// ("onboard", "space", "ground-edge", "cloud"); empty when the run
+	// had no placement engine.
+	Tier string
 	// Causes lists the distinct fault windows that stalled the frame
 	// (from retry/loss attribution, node-death re-enqueues, and SEFI
 	// windows overlapping its compute), sorted.
@@ -220,6 +224,8 @@ func decompose(scope string, events []trace.Event) []Frame {
 			f.Done = e.T
 			st.open = false
 			addCause(f, e.Cause)
+		case trace.Placed:
+			f.Tier = e.Tier
 		}
 		if f.Done < e.T {
 			f.Done = e.T

@@ -255,11 +255,11 @@ func (h *Histogram) Max() float64 {
 // NaN for q outside [0, 1] and 0 for an empty histogram. The estimate
 // is deterministic: a pure function of the bucket counts and extrema.
 func (h *Histogram) Quantile(q float64) float64 {
-	if math.IsNaN(q) || q < 0 || q > 1 {
-		return math.NaN()
-	}
 	if h == nil {
 		return 0
+	}
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()

@@ -326,6 +326,33 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestNilHistogramMethods(t *testing.T) {
+	// The package contract: every method on a nil (disabled) instrument
+	// is a no-op returning zero values. Regression: Quantile used to
+	// check the q-range before the nil guard, so a nil histogram
+	// returned NaN for out-of-range q while every other method returned
+	// zero.
+	var h *obs.Histogram
+	h.Observe(1) // must not panic
+	tests := []struct {
+		name string
+		got  float64
+	}{
+		{"Count", float64(h.Count())},
+		{"Min", h.Min()},
+		{"Max", h.Max()},
+		{"Quantile(0.5)", h.Quantile(0.5)},
+		{"Quantile(-0.1)", h.Quantile(-0.1)},
+		{"Quantile(1.1)", h.Quantile(1.1)},
+		{"Quantile(NaN)", h.Quantile(math.NaN())},
+	}
+	for _, tc := range tests {
+		if tc.got != 0 {
+			t.Errorf("nil histogram %s = %v, want 0", tc.name, tc.got)
+		}
+	}
+}
+
 func TestSnapshotCarriesQuantiles(t *testing.T) {
 	r := obs.New()
 	h := r.Histogram("lat", 1, 2)

@@ -93,6 +93,9 @@ const (
 	BrownoutStart
 	// BrownoutEnd: the previous brownout lifted (N workers return).
 	BrownoutEnd
+	// Placed: the placement engine routed the frame to compute tier
+	// Tier (onboard, space, ground-edge, or cloud) at capture time.
+	Placed
 
 	numKinds
 )
@@ -119,6 +122,7 @@ var kindNames = [numKinds]string{
 	Throttle:      "throttle",
 	BrownoutStart: "brownout_start",
 	BrownoutEnd:   "brownout_end",
+	Placed:        "placed",
 }
 
 // kindByName is the inverse of kindNames, for decoding.
@@ -171,6 +175,8 @@ type Event struct {
 	// Edge names the ISL link ("<from>-<to>") for edge-scoped events in
 	// topology mode; empty for the legacy single-link simulator.
 	Edge string `json:"e,omitempty"`
+	// Tier names the compute tier a Placed frame was routed to.
+	Tier string `json:"tr,omitempty"`
 	// Name is the span name (SpanDone).
 	Name string `json:"name,omitempty"`
 }

@@ -1,0 +1,78 @@
+package placement
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPolicyDecision checks the two invariants every policy must hold
+// for any priced model and load state: the decision names a valid tier,
+// and the Oracle's estimated cost lower-bounds every policy's estimate.
+func FuzzPolicyDecision(f *testing.F) {
+	f.Add(0.001, 1.0, 0.01, 2.0, 0.05, 0.5, 0.02, 3.0, 1e-3, 0, 4, 100, 0)
+	f.Add(1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0, 0, 0, 0)
+	f.Add(0.5, 10.0, 0.0, 0.1, 2.0, 5.0, 0.01, 60.0, 1e-2, 1000, 1, 0, 7)
+	f.Fuzz(func(t *testing.T,
+		d0, s0, d1, s1, d2, s2, d3, s3, w float64,
+		q0, q1, q2, q3 int) {
+		clampDollars := func(v float64) float64 {
+			if !(v >= 0) || v > 1e9 {
+				return 1
+			}
+			return v
+		}
+		clampSvc := func(v float64) float64 {
+			if !(v > 0) || v > 1e6 {
+				return 1
+			}
+			return v
+		}
+		clampQ := func(v int) int {
+			if v < 0 {
+				return 0
+			}
+			if v > 1<<30 {
+				return 1 << 30
+			}
+			return v
+		}
+		if !(w >= 0) || w > 1e6 {
+			w = 1e-3
+		}
+		m := Model{
+			LatencyWeight: w,
+			Tiers: [NumTiers]TierCost{
+				{DollarsPerFrame: clampDollars(d0), ServiceTime: clampSvc(s0), Servers: 4},
+				{DollarsPerFrame: clampDollars(d1), ServiceTime: clampSvc(s1), Servers: 8},
+				{DollarsPerFrame: clampDollars(d2), ServiceTime: clampSvc(s2), Servers: 2},
+				{DollarsPerFrame: clampDollars(d3), ServiceTime: clampSvc(s3), Servers: 0},
+			},
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("clamped model invalid: %v", err)
+		}
+		st := State{QueueLen: [NumTiers]int{clampQ(q0), clampQ(q1), clampQ(q2), clampQ(q3)}}
+		oracle := (Policy{Kind: Oracle}).Decide(m, st)
+		if !oracle.Tier.Valid() {
+			t.Fatalf("oracle chose invalid tier %d", int(oracle.Tier))
+		}
+		for _, k := range Kinds() {
+			for tier := Tier(0); tier < NumTiers; tier++ {
+				p := Policy{Kind: k, StaticTier: tier}
+				d := p.Decide(m, st)
+				if !d.Tier.Valid() {
+					t.Fatalf("%v(static=%v): invalid tier %d", k, tier, int(d.Tier))
+				}
+				if math.IsNaN(d.EstCost) {
+					t.Fatalf("%v(static=%v): NaN cost", k, tier)
+				}
+				// The Oracle reports the analytic floor min StaticCost; a
+				// Static policy pays at least that, and QueueAware only adds
+				// a non-negative estimated wait on top.
+				if d.EstCost < oracle.EstCost-1e-12*math.Abs(oracle.EstCost) {
+					t.Fatalf("%v(static=%v) cost %v beats oracle %v", k, tier, d.EstCost, oracle.EstCost)
+				}
+			}
+		}
+	})
+}
