@@ -20,7 +20,9 @@ import (
 	"sudc/internal/faults"
 	"sudc/internal/netsim"
 	"sudc/internal/obs"
+	"sudc/internal/obs/slo"
 	"sudc/internal/obs/trace"
+	"sudc/internal/obs/window"
 	"sudc/internal/par/partest"
 	"sudc/internal/placement"
 	"sudc/internal/reliability"
@@ -224,6 +226,25 @@ func BenchmarkNetsimObserved(b *testing.B) {
 	c := netsim.DefaultConfig(workload.Suite[0])
 	for i := 0; i < b.N; i++ {
 		c.Obs = obs.New()
+		if _, err := netsim.Run(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetsimWindowed is BenchmarkNetsimObserved with tumbling
+// 10-minute telemetry windows and the SLO engine enabled — the cost of
+// per-window aggregation, watermark-ordered flushing, and burn-rate
+// evaluation relative to the BENCH_obs.json observed baseline; tracked
+// in BENCH_window.json with a <5% budget.
+func BenchmarkNetsimWindowed(b *testing.B) {
+	c := netsim.DefaultConfig(workload.Suite[0])
+	sc := slo.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		c.Obs = obs.New()
+		c.Window = 10 * time.Minute
+		c.OnWindow = func(window.Window) {}
+		c.SLO = &sc
 		if _, err := netsim.Run(c); err != nil {
 			b.Fatal(err)
 		}

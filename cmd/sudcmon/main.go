@@ -9,6 +9,7 @@
 //
 //	sudcmon [scenario flags] [analysis flags]
 //	sudcmon -load trace.jsonl [analysis flags]
+//	sudcmon -diff [-window m] [-workers n -need n] A.jsonl B.jsonl
 //
 // Scenario flags (mirroring sudcsim):
 //
@@ -55,6 +56,15 @@
 //	-workers n       worker count for the availability cross-check when
 //	                 loading a saved trace (scenario runs know their own)
 //	-need n          workers needed for full service in the cross-check
+//	-slo-report      rebuild the windowed telemetry from the recording and
+//	                 print the per-window SLO table, the burn-rate alert
+//	                 timeline with attributed causes, and a drill-down
+//	                 into the worst window's slowest frames
+//	-window m        tumbling window width in minutes for -slo-report and
+//	                 -diff (default 10)
+//	-diff            compare two recordings window by window: metric
+//	                 deltas, the stage driving each latency delta, and
+//	                 the environment cause attribution on the B side
 package main
 
 import (
@@ -69,7 +79,9 @@ import (
 	"sudc/internal/faults"
 	"sudc/internal/netsim"
 	"sudc/internal/obs/latency"
+	"sudc/internal/obs/slo"
 	"sudc/internal/obs/trace"
+	"sudc/internal/obs/window"
 	"sudc/internal/placement"
 	"sudc/internal/topo"
 	"sudc/internal/units"
@@ -121,8 +133,20 @@ func run(args []string, out io.Writer) error {
 	chromeOut := fs.String("chrome", "", "save Chrome trace-event JSON for Perfetto")
 	workersFlag := fs.Int("workers", 0, "worker count for the availability cross-check on -load")
 	needFlag := fs.Int("need", 0, "workers needed for full service in the cross-check on -load")
+	sloReport := fs.Bool("slo-report", false, "print the trace-derived per-window SLO report")
+	windowMin := fs.Float64("window", 10, "tumbling window width in minutes for -slo-report and -diff")
+	diff := fs.Bool("diff", false, "compare two JSONL recordings window by window")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *windowMin <= 0 {
+		return fmt.Errorf("window width must be positive, got %v", *windowMin)
+	}
+	if *diff {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-diff needs exactly two recordings, got %d", fs.NArg())
+		}
+		return runDiff(out, fs.Arg(0), fs.Arg(1), *windowMin*60, *workersFlag, *needFlag)
 	}
 
 	var (
@@ -133,12 +157,8 @@ func run(args []string, out io.Writer) error {
 		desAvty = -1.0 // DES-reported availability (scenario runs only)
 	)
 	if *load != "" {
-		f, err := os.Open(*load)
-		if err != nil {
-			return err
-		}
-		rec, err = trace.DecodeJSONL(f)
-		f.Close()
+		var err error
+		rec, err = loadRecording(*load)
 		if err != nil {
 			return err
 		}
@@ -257,6 +277,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	analyze(out, rec, horizon, *topK, workers, need, desAvty)
+	if *sloReport {
+		sloSection(out, rec, *windowMin*60, horizon, workers, need, *topK)
+	}
 
 	if *jsonlOut != "" {
 		if err := writeFile(*jsonlOut, rec.WriteJSONL); err != nil {
@@ -427,9 +450,209 @@ func describe(e trace.Event) string {
 		return fmt.Sprintf("eclipse brownout parks %d workers (%s)", e.N, e.Cause)
 	case trace.BrownoutEnd:
 		return fmt.Sprintf("brownout ends, %d workers restored", e.N)
+	case trace.SLOAlert:
+		return fmt.Sprintf("SLO alert %s fires in window %d, fast burn %.1f (cause %s)",
+			e.Name, e.N, e.Mult, e.Cause)
 	default:
 		return e.Kind.String()
 	}
+}
+
+// sloSection rebuilds the windowed telemetry from the recording and
+// prints the SLO report plus a drill-down into the worst window's
+// slowest frames.
+func sloSection(out io.Writer, rec *trace.Recorder, width, horizon float64, workers, need, topK int) {
+	wins := slo.WindowsFromTrace(rec, width, horizon, workers, need)
+	fmt.Fprintln(out)
+	if len(wins) == 0 {
+		fmt.Fprintln(out, "SLO report: the recording has no frame events to window")
+		return
+	}
+	cfg := slo.DefaultConfig()
+	rep := slo.Run(cfg, wins)
+	slo.WriteReport(out, cfg, wins, rep)
+
+	// Worst window: the one with the highest summed burn across
+	// objectives (earliest on ties).
+	worst, worstBurn := -1, 0.0
+	burns := map[int]float64{}
+	for _, ev := range rep.Evals {
+		burns[ev.Window] += ev.Burn
+	}
+	for _, w := range wins {
+		if b := burns[w.Index]; worst < 0 || b > worstBurn {
+			worst, worstBurn = w.Index, b
+		}
+	}
+	var ww window.Window
+	for _, w := range wins {
+		if w.Index == worst {
+			ww = w
+		}
+	}
+	var inWin []latency.Frame
+	for _, f := range latency.DecomposeAll(rec) {
+		if f.Captured >= ww.Start && f.Captured < ww.End {
+			inWin = append(inWin, f)
+		}
+	}
+	fmt.Fprintf(out, "\nworst window w%03d [%.1fm, %.1fm): summed burn %.1f, cause %s\n",
+		ww.Index, ww.Start/60, ww.End/60, worstBurn, slo.Attribute(&ww.Agg))
+	for _, f := range latency.TopK(inWin, topK) {
+		fmt.Fprintf(out, "  frame %d %s after %.1fms (queue %.1f, transfer %.1f, backoff %.1f, compute %.1f, downlink-wait %.1f) causes: %s\n",
+			f.ID, f.Outcome, 1e3*f.Total(),
+			1e3*f.Stages[latency.StageQueue], 1e3*f.Stages[latency.StageTransfer],
+			1e3*f.Stages[latency.StageRetryBackoff], 1e3*f.Stages[latency.StageCompute],
+			1e3*f.Stages[latency.StageDownlinkWait], latency.FormatCauses(f.Causes))
+	}
+}
+
+// runDiff compares two recordings window by window: counter and metric
+// deltas, the latency stage driving each window's shift, and the B
+// side's environment attribution.
+func runDiff(out io.Writer, pathA, pathB string, width float64, workers, need int) error {
+	recA, err := loadRecording(pathA)
+	if err != nil {
+		return err
+	}
+	recB, err := loadRecording(pathB)
+	if err != nil {
+		return err
+	}
+	winsA := slo.WindowsFromTrace(recA, width, lastEventTime(recA), workers, need)
+	winsB := slo.WindowsFromTrace(recB, width, lastEventTime(recB), workers, need)
+	fmt.Fprintf(out, "diff %s (%d windows) → %s (%d windows), %.0f s windows\n\n",
+		pathA, len(winsA), pathB, len(winsB), width)
+
+	byIdx := func(wins []window.Window) map[int]window.Window {
+		m := make(map[int]window.Window, len(wins))
+		for _, w := range wins {
+			m[w.Index] = w
+		}
+		return m
+	}
+	mA, mB := byIdx(winsA), byIdx(winsB)
+	last := -1
+	for i := range mA {
+		if i > last {
+			last = i
+		}
+	}
+	for i := range mB {
+		if i > last {
+			last = i
+		}
+	}
+	stagesA, stagesB := stagesByWindow(recA, width), stagesByWindow(recB, width)
+
+	fmt.Fprintf(out, "  %-6s %11s %11s %10s %9s %10s  %-13s %s\n",
+		"window", "gen", "done", "Δavail", "Δp99", "Δloss", "stageΔ", "cause (B)")
+	for i := 0; i <= last; i++ {
+		a, okA := mA[i]
+		b, okB := mB[i]
+		switch {
+		case !okA && !okB:
+			continue
+		case !okB:
+			fmt.Fprintf(out, "  w%03d   %5d→    - %5d→    -  only in A\n",
+				i, a.Counts[window.CntGenerated], a.Counts[window.CntProcessed])
+			continue
+		case !okA:
+			fmt.Fprintf(out, "  w%03d       -→%5d     -→%5d  only in B, cause %s\n",
+				i, b.Counts[window.CntGenerated], b.Counts[window.CntProcessed], slo.Attribute(&b.Agg))
+			continue
+		}
+		fmt.Fprintf(out, "  w%03d   %5d→%-5d %5d→%-5d %+8.2fpp %+8.1fs %+8.2fpp  %-13s %s\n",
+			i,
+			a.Counts[window.CntGenerated], b.Counts[window.CntGenerated],
+			a.Counts[window.CntProcessed], b.Counts[window.CntProcessed],
+			100*(b.Availability()-a.Availability()),
+			b.LatQuantile(0.99)-a.LatQuantile(0.99),
+			100*(b.LossRate()-a.LossRate()),
+			stageDelta(stagesA[i], stagesB[i]), slo.Attribute(&b.Agg))
+	}
+
+	cfg := slo.DefaultConfig()
+	repA, repB := slo.Run(cfg, winsA), slo.Run(cfg, winsB)
+	fmt.Fprintf(out, "\nattainment %.1f%% → %.1f%%, burn-rate alerts %d → %d\n",
+		100*repA.Attainment, 100*repB.Attainment, len(repA.Alerts), len(repB.Alerts))
+	for _, a := range repB.Alerts {
+		fmt.Fprintf(out, "  B alert w%03d %-14s fast %.1f  cause %s\n", a.Window, a.Objective, a.Fast, a.Cause)
+	}
+	return nil
+}
+
+// stageWindow is one window's per-stage latency sums over the frames
+// completed in it.
+type stageWindow struct {
+	stages [latency.NumStages]float64
+	frames int
+}
+
+// stagesByWindow buckets each completed frame's stage decomposition
+// into the window holding its completion time.
+func stagesByWindow(rec *trace.Recorder, width float64) map[int]stageWindow {
+	m := map[int]stageWindow{}
+	for _, f := range latency.DecomposeAll(rec) {
+		if f.Outcome != "processed" && f.Outcome != "downlinked" {
+			continue
+		}
+		i := int((f.Captured + f.Total()) / width)
+		sw := m[i]
+		for s := range f.Stages {
+			sw.stages[s] += f.Stages[s]
+		}
+		sw.frames++
+		m[i] = sw
+	}
+	return m
+}
+
+// stageDelta names the latency stage with the largest mean-seconds
+// shift between two windows, signed ("+queue", "-backoff"); "-" when
+// neither window completed frames.
+func stageDelta(a, b stageWindow) string {
+	var best latency.Stage
+	var bestD float64
+	found := false
+	for s := latency.Stage(0); s < latency.NumStages; s++ {
+		var am, bm float64
+		if a.frames > 0 {
+			am = a.stages[s] / float64(a.frames)
+		}
+		if b.frames > 0 {
+			bm = b.stages[s] / float64(b.frames)
+		}
+		d := bm - am
+		if !found || absf(d) > absf(bestD) {
+			best, bestD, found = s, d, true
+		}
+	}
+	if !found || (a.frames == 0 && b.frames == 0) || bestD == 0 {
+		return "-"
+	}
+	sign := "+"
+	if bestD < 0 {
+		sign = "-"
+	}
+	return sign + best.String()
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// loadRecording opens and decodes one JSONL flight recording.
+func loadRecording(path string) (*trace.Recorder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.DecodeJSONL(f)
 }
 
 // lastEventTime finds the recording's latest timestamp across scopes.

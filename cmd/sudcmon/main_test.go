@@ -171,6 +171,91 @@ func TestUnknownCalibrationRejected(t *testing.T) {
 	}
 }
 
+// sloArgs is the pinned degraded SLO scenario: the 2-hour horizon
+// crosses an eclipse, and the fault stack keeps every attribution
+// source (throttle, brownout, outage) active.
+var sloArgs = []string{"-satellites", "2", "-power", "0.5", "-hours", "2",
+	"-mttf", "2", "-sefi", "20", "-outage", "15", "-throttle", "1",
+	"-shed", "40", "-seed", "7", "-top", "2", "-slo-report"}
+
+func TestGoldenSLOReport(t *testing.T) {
+	// The windowed report derives from simulated time only, so it is
+	// pinned byte-for-byte. Regenerate with: go test ./cmd/sudcmon -update
+	out := runMon(t, sloArgs...)
+	golden := filepath.Join("testdata", "slo_report.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("SLO report drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, out, want)
+	}
+}
+
+func TestSLOReportSections(t *testing.T) {
+	out := runMon(t, sloArgs...)
+	for _, want := range []string{
+		"SLO report:", "burn policy",
+		"avail", "p99", "loss", "$/frame", "burn",
+		"burn-rate alerts:", "cause",
+		"attainment:",
+		"worst window w",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SLO report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffComparesTwoRecordings(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	runMon(t, append(faultedArgs, "-jsonl", a)...)
+	runMon(t, "-satellites", "2", "-power", "0.5", "-hours", "0.2",
+		"-mttf", "2", "-sefi", "20", "-outage", "15", "-throttle", "1",
+		"-shed", "40", "-seed", "7", "-top", "2", "-jsonl", b)
+
+	out := runMon(t, "-diff", "-workers", "1", "-need", "1", "-window", "5", a, b)
+	for _, want := range []string{
+		"diff " + a, "300 s windows",
+		"Δavail", "Δp99", "Δloss", "stageΔ", "cause (B)",
+		"w000", "attainment",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	// Diffing a recording against itself must show no metric deltas.
+	self := runMon(t, "-diff", "-workers", "1", "-need", "1", a, a)
+	for _, banned := range []string{"only in A", "only in B"} {
+		if strings.Contains(self, banned) {
+			t.Errorf("self-diff reports %q:\n%s", banned, self)
+		}
+	}
+	if strings.Contains(self, "+1.") || strings.Contains(self, "-1.") {
+		t.Errorf("self-diff shows nonzero deltas:\n%s", self)
+	}
+}
+
+func TestDiffArgumentErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-diff", "one.jsonl"}, &b); err == nil {
+		t.Error("-diff with one path must error")
+	}
+	if err := run([]string{"-diff", "/no/such/a.jsonl", "/no/such/b.jsonl"}, &b); err == nil {
+		t.Error("-diff with missing files must error")
+	}
+	if err := run([]string{"-window", "0"}, &b); err == nil {
+		t.Error("non-positive window width must error")
+	}
+}
+
 func TestPlacementTierCounts(t *testing.T) {
 	out := runMon(t, "-hours", "0.5", "-placement", "static-cloud", "-top", "1")
 	if !strings.Contains(out, "placement tiers:") || !strings.Contains(out, "cloud") {

@@ -74,6 +74,16 @@
 //
 //	-metrics         print the run's metric snapshot (counters, queue-depth /
 //	                 availability / retry time series, latency histogram)
+//	-window m        tumbling telemetry window in minutes (0 = off; -slo
+//	                 and -watch default it to 10). Windows merge at the
+//	                 cross-cell watermark, so the stream is byte-identical
+//	                 for any -shards value
+//	-slo             evaluate the mission SLOs (availability, frame p99,
+//	                 loss rate, $/frame vs the oracle floor) per window
+//	                 and print the burn-rate report; alerts also land in
+//	                 -trace-out recordings with attributed causes
+//	-watch           print one line per completed window as the
+//	                 simulation crosses it
 //	-trace           stream span trace lines as stages complete
 //	-trace-out file  write the frame-lineage flight recording (per-frame
 //	                 lifecycle + fault events) as JSONL; analyze with sudcmon
@@ -93,7 +103,9 @@ import (
 	"sudc/internal/faults"
 	"sudc/internal/netsim"
 	"sudc/internal/obs"
+	"sudc/internal/obs/slo"
 	"sudc/internal/obs/trace"
+	"sudc/internal/obs/window"
 	"sudc/internal/placement"
 	"sudc/internal/topo"
 	"sudc/internal/units"
@@ -143,6 +155,9 @@ func run(args []string, out io.Writer) error {
 	latencyWeight := fs.Float64("latency-weight", 1e-4, "latency price in $/frame-second (with -placement)")
 	placeCompress := fs.String("place-compress", "", "onboard compression before downlink: none, ccsds, jpeg2000, neural")
 	metrics := fs.Bool("metrics", false, "print the run's metric snapshot")
+	windowMin := fs.Float64("window", 0, "tumbling telemetry window in minutes (0 = off)")
+	sloOn := fs.Bool("slo", false, "evaluate mission SLOs per window and print the burn-rate report")
+	watch := fs.Bool("watch", false, "print one line per completed telemetry window")
 	traceSpans := fs.Bool("trace", false, "stream span trace lines as stages complete")
 	traceOut := fs.String("trace-out", "", "write the frame-lineage flight recording to this JSONL file")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
@@ -267,6 +282,31 @@ func run(args []string, out io.Writer) error {
 	cfg.Obs = reg.Scope("netsim")
 	cfg.Trace = rec
 
+	if *windowMin < 0 {
+		return fmt.Errorf("sudcsim: -window must be non-negative, got %v", *windowMin)
+	}
+	var wins []window.Window
+	var sloCfg slo.Config
+	if *sloOn || *watch || *windowMin > 0 {
+		if *windowMin == 0 {
+			*windowMin = 10
+		}
+		cfg.Window = time.Duration(*windowMin * float64(time.Minute))
+		cfg.OnWindow = func(w window.Window) {
+			wins = append(wins, w)
+			if *watch {
+				fmt.Fprintf(out, "w%03d [%6.1fm,%6.1fm) gen %5d done %5d avail %6.2f%% p99 %6.1fs loss %5.2f%%\n",
+					w.Index, w.Start/60, w.End/60,
+					w.Counts[window.CntGenerated], w.Counts[window.CntProcessed],
+					100*w.Availability(), w.LatQuantile(0.99), 100*w.LossRate())
+			}
+		}
+		if *sloOn {
+			sloCfg = slo.DefaultConfig()
+			cfg.SLO = &sloCfg
+		}
+	}
+
 	sp := reg.StartSpan("sudcsim/run")
 	sp.SetSim(cfg.Duration.Seconds())
 	s, err := netsim.Run(cfg)
@@ -336,6 +376,13 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "\n  → the SµDC keeps up with the constellation")
 	} else {
 		fmt.Fprintln(out, "\n  → UNDERSIZED: the SµDC falls behind")
+	}
+	if *sloOn {
+		if cfg.Placement != nil {
+			sloCfg.CostFloor = cfg.Placement.Model.OracleCost()
+		}
+		fmt.Fprintln(out)
+		slo.WriteReport(out, sloCfg, wins, slo.Run(sloCfg, wins))
 	}
 	if *metrics {
 		fmt.Fprintf(out, "\nmetrics:\n%s", reg.Snapshot().String())

@@ -274,3 +274,39 @@ func TestPlacementOffByDefault(t *testing.T) {
 		t.Errorf("placement block printed without -placement:\n%s", out)
 	}
 }
+
+func TestSLOFlagPrintsWindowedReport(t *testing.T) {
+	out := runSim(t, "-satellites", "2", "-power", "0.5", "-hours", "2",
+		"-mttf", "2", "-sefi", "20", "-outage", "15", "-throttle", "1",
+		"-shed", "40", "-seed", "7", "-slo", "-watch")
+	for _, want := range []string{
+		"SLO report:", "burn policy", "burn-rate alerts:", "cause", "attainment:",
+		"w000 [", // live -watch line
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The live window lines precede the run summary: the first -watch
+	// line must appear before the "frames generated" block.
+	if strings.Index(out, "w000 [") > strings.Index(out, "frames generated") {
+		t.Errorf("-watch lines must stream before the summary:\n%s", out)
+	}
+}
+
+func TestWindowFlagAloneIsQuiet(t *testing.T) {
+	// -window without -slo/-watch collects windows but prints nothing new.
+	out := runSim(t, "-satellites", "2", "-hours", "0.5", "-window", "10")
+	for _, banned := range []string{"SLO report", "w000"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("bare -window must not print %q:\n%s", banned, out)
+		}
+	}
+}
+
+func TestNegativeWindowRejected(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-slo", "-window", "-5"}, &b); err == nil {
+		t.Error("negative window width must error")
+	}
+}

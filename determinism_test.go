@@ -7,6 +7,7 @@ package sudc
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -18,7 +19,9 @@ import (
 	"sudc/internal/faults"
 	"sudc/internal/netsim"
 	"sudc/internal/obs"
+	"sudc/internal/obs/slo"
 	"sudc/internal/obs/trace"
+	"sudc/internal/obs/window"
 	"sudc/internal/par"
 	"sudc/internal/par/partest"
 	"sudc/internal/topo"
@@ -338,6 +341,85 @@ func shardExports(t *testing.T, c netsim.Config, shards int) (netsim.Stats, stri
 		t.Fatal(err)
 	}
 	return s, reg.Snapshot().String(), jsonl.String(), chrome.String()
+}
+
+// sloReportOf runs one topology configuration with 10-minute windows
+// and the default SLOs and renders the full per-window report.
+func sloReportOf(t *testing.T, c netsim.Config, shards int) string {
+	t.Helper()
+	cc := c
+	cc.Shards = shards
+	cc.Window = 10 * time.Minute
+	var wins []window.Window
+	cc.OnWindow = func(w window.Window) { wins = append(wins, w) }
+	sloCfg := slo.DefaultConfig()
+	cc.SLO = &sloCfg
+	if _, err := netsim.Run(cc); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	slo.WriteReport(&b, sloCfg, wins, slo.Run(sloCfg, wins))
+	return b.String()
+}
+
+func TestSLOReportInvariantUnderShardAndWorkerCount(t *testing.T) {
+	// The windowed telemetry merges cell fragments at the conservative
+	// cross-cell watermark, so the per-window SLO report — counters,
+	// occupancy attribution, burn rates, alert timeline — must be
+	// byte-identical for every (process workers × shards) combination,
+	// fault-free and with the full fault + degradation stack active.
+	g, err := topo.Walker(4, 8, 5, 2, 250*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := netsim.TopologyConfig(workload.Suite[0], g)
+	base.BatchSize = 4
+	base.BatchTimeout = 30 * time.Second
+	base.Duration = 30 * time.Minute
+	base.Seed = 9
+
+	degraded := base
+	degraded.Faults = faults.Scenario{
+		NodeMTTF:          2 * time.Hour,
+		SEFIMTBE:          20 * time.Minute,
+		SEFIRecovery:      30 * time.Second,
+		ISLOutageMTBF:     30 * time.Minute,
+		ISLOutageDuration: time.Minute,
+	}
+	degraded.RetryLimit = 3
+	degraded.ShedThreshold = 40
+	degraded.Duration = 2 * time.Hour
+	cots := degrade.COTSProfile(0.75)
+	degraded.Degrade = &cots
+
+	for _, tc := range []struct {
+		name string
+		cfg  netsim.Config
+	}{
+		{"fault-free", base},
+		{"degraded", degraded},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := sloReportOf(t, tc.cfg, 1)
+			if !strings.Contains(ref, "SLO report:") || strings.Contains(ref, "SLO report: 0 windows") {
+				t.Fatalf("report did not window the run:\n%.400s", ref)
+			}
+			if tc.name == "degraded" && strings.Contains(ref, "no burn-rate alerts") {
+				t.Fatal("degraded scenario must fire burn-rate alerts")
+			}
+			for _, w := range []int{1, 2, 8} {
+				for _, sh := range []int{1, 2, 8} {
+					w, sh := w, sh
+					t.Run(fmt.Sprintf("workers=%d/shards=%d", w, sh), func(t *testing.T) {
+						partest.WithDefaultWorkers(t, w)
+						if got := sloReportOf(t, tc.cfg, sh); got != ref {
+							t.Errorf("workers=%d shards=%d: SLO report differs from the reference", w, sh)
+						}
+					})
+				}
+			}
+		})
+	}
 }
 
 func TestShardedTopologyInvariantUnderShardCount(t *testing.T) {

@@ -34,6 +34,7 @@ func Extensions() []Experiment {
 		{"Extension E9", "COTS degradation: throttle severity × eclipse fraction vs fault-only availability", ExtDegradation},
 		{"Extension E10", "compressed-horizon survivability under degradation and fleet lifecycle", ExtSurvivability},
 		{"Extension E11", "when to compute in space: four-tier placement frontier vs bent pipe", ExtPlacement},
+		{"Extension E12", "SLO attainment and burn-rate alert placement under COTS degradation", ExtSLO},
 	}
 }
 

@@ -7,8 +7,8 @@ import (
 
 func TestAllExtensionsRun(t *testing.T) {
 	ext := Extensions()
-	if len(ext) != 11 {
-		t.Fatalf("have %d extensions, want 11", len(ext))
+	if len(ext) != 12 {
+		t.Fatalf("have %d extensions, want 12", len(ext))
 	}
 	for _, e := range ext {
 		tbl, err := e.Run()

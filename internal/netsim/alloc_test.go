@@ -10,11 +10,13 @@ package netsim
 
 import (
 	"math/rand"
+	"runtime/debug"
 	"testing"
 	"time"
 
 	"sudc/internal/faults"
 	"sudc/internal/obs/trace"
+	"sudc/internal/obs/window"
 	"sudc/internal/workload"
 )
 
@@ -68,6 +70,19 @@ func TestNilTraceRecorderZeroAllocs(t *testing.T) {
 	}
 }
 
+func TestNilWindowCollectorZeroAllocs(t *testing.T) {
+	// Disabled windowed telemetry (Config.Window == 0) costs one nil
+	// check per lifecycle counter and must never allocate.
+	var w *window.Collector
+	avg := testing.AllocsPerRun(100, func() {
+		w.Count(window.CntGenerated, 1)
+		w.Latency(42)
+	})
+	if avg != 0 {
+		t.Errorf("nil-collector counters allocate %.2f per call, want 0", avg)
+	}
+}
+
 func TestSimulatorReusesBackingArrays(t *testing.T) {
 	// Re-running a simulator must recycle every arena: the event heap,
 	// the latency buffer, and the queues keep their backing arrays
@@ -109,21 +124,37 @@ func TestSimulatorReusesBackingArrays(t *testing.T) {
 
 func TestRunReplicasRecyclesPooledSimulator(t *testing.T) {
 	// After RunReplicas finishes, the pool holds warmed simulators whose
-	// arenas the next run reuses instead of reallocating.
+	// arenas the next run reuses instead of reallocating. The probe
+	// retries: a GC drains sync.Pool (automatic GC is pinned off for the
+	// test's duration) and under the race detector Put randomly drops a
+	// quarter of returned items, so any single getSim may legitimately
+	// come back cold.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	c := DefaultConfig(workload.Suite[0])
 	c.Duration = 5 * time.Minute
-	if _, err := RunReplicas(c, 4, 1); err != nil {
-		t.Fatal(err)
+	for attempt := 0; attempt < 8; attempt++ {
+		if _, err := RunReplicas(c, 4, 1); err != nil {
+			t.Fatal(err)
+		}
+		s := getSim()
+		if cap(s.q.a) == 0 && cap(s.latencies) == 0 {
+			putSim(s) // cold: the pool dropped the warmed simulators
+			continue
+		}
+		if cap(s.q.a) == 0 {
+			t.Error("pooled simulator has no warmed event-heap capacity")
+		}
+		if cap(s.latencies) == 0 {
+			t.Error("pooled simulator has no warmed latency capacity")
+		}
+		if s.rec != nil || s.tr != nil || s.rng.src != nil {
+			t.Error("pooled simulator retains per-run references after put")
+		}
+		if s.win != nil || s.winM != nil {
+			t.Error("pooled simulator retains windowed-telemetry state after put")
+		}
+		putSim(s)
+		return
 	}
-	s := getSim()
-	defer putSim(s)
-	if cap(s.q.a) == 0 {
-		t.Error("pooled simulator has no warmed event-heap capacity")
-	}
-	if cap(s.latencies) == 0 {
-		t.Error("pooled simulator has no warmed latency capacity")
-	}
-	if s.rec != nil || s.tr != nil || s.rng.src != nil {
-		t.Error("pooled simulator retains per-run references after put")
-	}
+	t.Error("no warmed simulator surfaced from the pool in 8 rounds")
 }

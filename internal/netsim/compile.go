@@ -18,6 +18,7 @@ import (
 
 	"sudc/internal/degrade"
 	"sudc/internal/faults"
+	"sudc/internal/obs/window"
 	"sudc/internal/topo"
 	"sudc/internal/units"
 )
@@ -158,6 +159,11 @@ func (s *simulator) resetTopo(c Config, p *cellPlan, sched faults.Schedule, deg 
 	s.need = p.workers
 	s.totalSats = p.sats
 	s.setPlacement(c.Placement, cells)
+	if c.Window > 0 {
+		// The cell collects its own fragments; the shard runner owns the
+		// merger and drains every cell at the cross-cell watermark.
+		s.win = window.NewCollector(c.Window.Seconds(), cell)
+	}
 	s.frameID = int64(cell) << frameIDBits
 
 	s.links = resizeLinks(s.links, len(p.links))

@@ -70,8 +70,16 @@ type recorder struct {
 	backlog    *obs.Series
 	effective  *obs.Series
 	avail      *obs.Series
-	retried    *obs.Series
-	shed       *obs.Series
+	// retried and shed are per-interval rate series: each sample is the
+	// count of new retries/sheds since the previous grid point (the
+	// README's "retry and shed rate" reading), so spikes localize to
+	// their grid interval. Cumulative totals live in the frames/retried
+	// and frames/shed counters; obs.Series.Rate inverts a legacy
+	// cumulative recording.
+	retried     *obs.Series
+	shed        *obs.Series
+	prevRetried int
+	prevShed    int
 
 	latency *obs.Histogram
 	backoff *obs.Histogram
@@ -129,8 +137,10 @@ func (r *recorder) record(s sampleState) {
 	r.backlog.Sample(s.t, float64(s.backlog))
 	r.effective.Sample(s.t, float64(s.effective))
 	r.avail.Sample(s.t, s.availability)
-	r.retried.Sample(s.t, float64(s.retried))
-	r.shed.Sample(s.t, float64(s.shed))
+	r.retried.Sample(s.t, float64(s.retried-r.prevRetried))
+	r.prevRetried = s.retried
+	r.shed.Sample(s.t, float64(s.shed-r.prevShed))
+	r.prevShed = s.shed
 	if r.rateMult != nil {
 		r.rateMult.Sample(s.t, s.rateMult)
 		r.powered.Sample(s.t, float64(s.powered))

@@ -32,7 +32,9 @@ import (
 	"sudc/internal/degrade"
 	"sudc/internal/faults"
 	"sudc/internal/obs"
+	"sudc/internal/obs/slo"
 	"sudc/internal/obs/trace"
+	"sudc/internal/obs/window"
 	"sudc/internal/par"
 	"sudc/internal/placement"
 	"sudc/internal/topo"
@@ -168,6 +170,29 @@ type Config struct {
 	// worker count. Each run needs its own recorder (or child scope);
 	// RunReplicas scopes one child per replica automatically.
 	Trace *trace.Recorder
+
+	// Window, when positive, enables windowed mission telemetry:
+	// tumbling sim-time windows of frame counters, fixed-bucket latency
+	// quantiles, and environment occupancy (eclipse, throttle,
+	// brownout, ISL outage), merged across topology cells at the
+	// conservative cross-cell watermark — the minimum next event time
+	// over all cells and in-flight messages, where every cell's
+	// environment is provably constant. The merged stream is therefore
+	// byte-identical for any Shards value or process worker count. Zero
+	// disables windowing at the cost of one nil check per event.
+	Window time.Duration
+	// OnWindow, when non-nil, observes each completed merged window in
+	// index order, live at the watermark that sealed it. Requires
+	// Window > 0. Per-run state: RunReplicas rejects it (replicas would
+	// interleave their streams nondeterministically).
+	OnWindow func(window.Window)
+	// SLO, when non-nil, evaluates the declared objectives over the
+	// window stream with multi-window burn-rate alerting once the run
+	// completes. Requires Window > 0. Each alert is recorded as an
+	// "slo_alert" trace event (when Trace is set) carrying the window's
+	// ranked environment attribution; a zero CostFloor is filled from
+	// the placement model's oracle floor.
+	SLO *slo.Config
 }
 
 // DefaultConfig simulates the paper's reference scenario for one app: the
@@ -296,6 +321,20 @@ func (c Config) Validate() error {
 	}
 	if err := c.Placement.Validate(); err != nil {
 		return err
+	}
+	if c.Window < 0 {
+		return errors.New("netsim: negative window width")
+	}
+	if c.OnWindow != nil && c.Window <= 0 {
+		return errors.New("netsim: OnWindow requires a positive Window")
+	}
+	if c.SLO != nil {
+		if c.Window <= 0 {
+			return errors.New("netsim: SLO requires a positive Window")
+		}
+		if err := c.SLO.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -463,7 +502,9 @@ func Run(c Config) (Stats, error) {
 	for s.step() {
 	}
 	stats := s.finish()
+	wins := s.closeRunWindows()
 	putSim(s)
+	emitSLO(c, wins)
 	return stats, nil
 }
 
@@ -479,6 +520,12 @@ func RunReplicas(c Config, replicas, workers int) ([]Stats, error) {
 	}
 	if replicas < 1 {
 		return nil, errors.New("netsim: replicas must be ≥ 1")
+	}
+	if c.OnWindow != nil {
+		// Replicas run concurrently; their window streams would
+		// interleave nondeterministically through one callback. Run each
+		// replica serially (forking seeds with par.ForkSeed) instead.
+		return nil, errors.New("netsim: OnWindow is per-run; RunReplicas cannot multiplex it")
 	}
 	out := make([]Stats, replicas)
 	err := par.ForNErr(replicas, func(r int) error {
@@ -540,7 +587,9 @@ func RunWithRand(c Config, rng *rand.Rand) (Stats, error) {
 	for s.step() {
 	}
 	stats := s.finish()
+	wins := s.closeRunWindows()
 	putSim(s)
+	emitSLO(c, wins)
 	return stats, nil
 }
 
@@ -560,4 +609,27 @@ func buildDegrade(c Config) (*degrade.Schedule, error) {
 		return nil, nil
 	}
 	return deg, nil
+}
+
+// emitSLO evaluates the run's SLO objectives over the merged window
+// stream and records each burn-rate alert as an "slo_alert" trace
+// event. A zero CostFloor is filled from the placement oracle so the
+// cost-per-frame objective prices against the provable floor.
+func emitSLO(c Config, wins []window.Window) {
+	if c.SLO == nil || len(wins) == 0 {
+		return
+	}
+	cfg := *c.SLO
+	if cfg.CostFloor == 0 && c.Placement != nil {
+		cfg.CostFloor = c.Placement.Model.OracleCost()
+	}
+	rep := slo.Run(cfg, wins)
+	if c.Trace == nil {
+		return
+	}
+	for _, a := range rep.Alerts {
+		c.Trace.Record(trace.Event{T: a.End, Kind: trace.SLOAlert, Node: -1,
+			N: a.Window, Mult: a.Fast, Dur: a.End - a.Start,
+			Cause: a.Cause, Name: a.Objective})
+	}
 }

@@ -224,6 +224,26 @@ func TestObsStreamRecordsFaultedRun(t *testing.T) {
 		}
 	}
 
+	// The retried and shed series sample per-interval rates, not the
+	// cumulative counters: the samples must sum back to the run totals
+	// (and would wildly overshoot them if recorded cumulatively).
+	if s.FramesRetried == 0 {
+		t.Fatal("outage run must retry frames")
+	}
+	for name, want := range map[string]int{"retries": s.FramesRetried, "shed": s.FramesShed} {
+		var sum float64
+		for _, sv := range snap.Series {
+			if sv.Name == name {
+				for _, p := range sv.Points {
+					sum += p.V
+				}
+			}
+		}
+		if int(sum) != want {
+			t.Errorf("series %s rate samples sum to %v, want cumulative total %d", name, sum, want)
+		}
+	}
+
 	// The metrics themselves must honor the determinism contract.
 	if _, snap2 := run(); snap2.String() != snap.String() {
 		t.Error("identical runs must produce byte-identical snapshots")

@@ -25,6 +25,7 @@ import (
 
 	"sudc/internal/obs/latency"
 	"sudc/internal/obs/trace"
+	"sudc/internal/obs/window"
 	"sudc/internal/placement"
 )
 
@@ -51,6 +52,11 @@ func (s *simulator) setPlacement(pc *placement.Config, cells int) {
 	// its satellite population (the pool approximation: any satellite's
 	// computer can serve, which upper-bounds the per-satellite truth).
 	s.onboardServers = s.totalSats
+	// The zero-queue base tier: where the policy sends a frame when no
+	// queue pressures it elsewhere. Decide draws no RNG, so probing it
+	// here leaves the run's stream untouched; a routing that deviates
+	// from the base is a queue-aware spillover.
+	s.placeBase = pc.Policy.Decide(pc.Model, placement.State{}).Tier
 }
 
 // route runs the placement decision for one captured frame and starts
@@ -59,9 +65,14 @@ func (s *simulator) route(f frame, sat int) {
 	d := s.place.Policy.Decide(s.pmodel, placement.State{QueueLen: s.queueLen})
 	f.tier = int8(d.Tier)
 	s.queueLen[d.Tier]++
+	cause := ""
+	if d.Tier != s.placeBase {
+		cause = "spill"
+		s.win.Count(window.CntSpilled, 1)
+	}
 	if s.tr != nil {
 		s.tr.Record(trace.Event{T: s.now, Kind: trace.Placed, Frame: f.id,
-			Node: sat, Tier: d.Tier.String()})
+			Node: sat, Tier: d.Tier.String(), Cause: cause})
 	}
 	switch d.Tier {
 	case placement.TierSpace:
@@ -140,7 +151,9 @@ func (s *simulator) downlinkDone() {
 func (s *simulator) completePlaced(f frame) {
 	lat := s.now - f.born
 	s.stats.FramesProcessed++
+	s.win.Count(window.CntProcessed, 1)
 	s.latencies = append(s.latencies, lat)
+	s.win.Latency(lat)
 	if s.rec != nil {
 		s.rec.latency.Observe(lat)
 	}
@@ -150,6 +163,7 @@ func (s *simulator) completePlaced(f frame) {
 	s.accountTier(placement.Tier(f.tier), lat)
 	if f.value >= 1-s.c.InsightFraction {
 		s.stats.InsightsDownlinked++
+		s.win.Count(window.CntInsights, 1)
 		if s.tr != nil {
 			s.tr.Record(trace.Event{T: s.now, Kind: trace.Downlinked, Frame: f.id, Node: -1})
 		}
@@ -168,6 +182,7 @@ func (s *simulator) accountTier(t placement.Tier, lat float64) {
 	d := s.pmodel.Tiers[t].DollarsPerFrame
 	s.tierDollars[t] += d
 	s.placeCostSum += d + s.pmodel.LatencyWeight*lat
+	s.win.Cost(d + s.pmodel.LatencyWeight*lat)
 }
 
 // finishPlacement assembles the per-tier Stats at the end of a run.

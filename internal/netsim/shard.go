@@ -28,6 +28,7 @@ import (
 	"sudc/internal/degrade"
 	"sudc/internal/faults"
 	"sudc/internal/obs/latency"
+	"sudc/internal/obs/window"
 	"sudc/internal/par"
 	"sudc/internal/placement"
 	"sudc/internal/units"
@@ -48,6 +49,10 @@ type shardRunner struct {
 	weights []int // per-cell worker counts, for merging
 	linksN  []int // per-cell link counts
 	allLat  []float64
+
+	// winM merges per-cell window fragments at the cross-cell watermark
+	// (nil when Config.Window is zero).
+	winM *window.Merger
 
 	// Placement merge accumulators (unused without Config.Placement).
 	tierLat   [placement.NumTiers][]float64
@@ -70,6 +75,9 @@ func newShardRunner(c Config, plans []cellPlan, deg *degrade.Schedule) (*shardRu
 	if w, ok := c.Topology.MinCrossDelay(); ok {
 		r.hasCross = true
 		r.wsec = w.Seconds()
+	}
+	if c.Window > 0 {
+		r.winM = window.NewMerger(c.Window.Seconds(), c.OnWindow)
 	}
 	r.eff = c.Shards
 	if r.eff <= 0 {
@@ -163,9 +171,43 @@ func (r *shardRunner) window() bool {
 		s.outbox = s.outbox[:0]
 	}
 	sortMsgs(r.pending)
+	r.flushWindows()
 	// A final window can still emit cross-cell frames arriving within
 	// the horizon; loop again to deliver them.
 	return !final || len(r.pending) > 0
+}
+
+// flushWindows advances every cell's window collector to the
+// cross-cell watermark — the minimum next event time over all cells
+// and in-flight messages, capped at the horizon — and folds the closed
+// fragments into the merger. Below the watermark every cell's
+// environment is provably constant (its own next event and every
+// message that could perturb it lie at or beyond it), so the advance
+// is exact. The watermark and the cell drain order are pure functions
+// of the config, never of Config.Shards, so the merged window stream
+// inherits the byte-identity contract.
+func (r *shardRunner) flushWindows() {
+	if r.winM == nil {
+		return
+	}
+	wm := r.horizon
+	for _, s := range r.sims {
+		if at := s.nextAt(); at < wm {
+			wm = at
+		}
+	}
+	for i := range r.pending {
+		if r.pending[i].at < wm {
+			wm = r.pending[i].at
+		}
+	}
+	for _, s := range r.sims {
+		s.win.Advance(wm, s.winEnv())
+		for _, f := range s.win.Drain() {
+			r.winM.Add(f)
+		}
+	}
+	r.winM.Flush(wm)
 }
 
 // finish closes every cell and merges the per-cell Stats: frame
@@ -180,7 +222,9 @@ func (r *shardRunner) finish() Stats {
 		// the legacy simulator (x*w/w is not an exact float identity).
 		s := r.sims[0]
 		cs := s.finish()
+		s.closeWindows(r.winM)
 		putSim(s)
+		r.sealWindows()
 		return cs
 	}
 	var out Stats
@@ -234,8 +278,10 @@ func (r *shardRunner) finish() Stats {
 			r.placeCost += s.placeCostSum
 			out.OracleMeanCost = cs.OracleMeanCost
 		}
+		s.closeWindows(r.winM)
 		putSim(s)
 	}
+	r.sealWindows()
 	// A frame that crossed cells counts +1 in its producer's generated
 	// and −1 via its consumer's processed/shed/lost, so the global sum
 	// is the true in-flight backlog.
@@ -280,6 +326,14 @@ func (r *shardRunner) finish() Stats {
 	return out
 }
 
+// sealWindows flushes the trailing windows (including a partial one)
+// after every cell has closed.
+func (r *shardRunner) sealWindows() {
+	if r.winM != nil {
+		r.winM.Flush(math.Inf(1))
+	}
+}
+
 // sortMsgs orders cross-cell messages by arrival time with a stable
 // insertion sort: per-window message counts are small, and unlike
 // sort.SliceStable this keeps the exchange allocation-free.
@@ -311,5 +365,9 @@ func runTopology(c Config) (Stats, error) {
 	}
 	for r.window() {
 	}
-	return r.finish(), nil
+	stats := r.finish()
+	if r.winM != nil {
+		emitSLO(c, r.winM.Windows())
+	}
+	return stats, nil
 }

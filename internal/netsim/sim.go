@@ -11,6 +11,7 @@ import (
 	"sudc/internal/degrade"
 	"sudc/internal/faults"
 	"sudc/internal/obs/trace"
+	"sudc/internal/obs/window"
 	"sudc/internal/placement"
 	"sudc/internal/units"
 )
@@ -208,6 +209,15 @@ type simulator struct {
 	brownoutSum  float64 // time with ≥ 1 browned worker
 	browned      int     // workers currently parked by a brownout
 	brownoutIdx  int     // brownout ordinal, for cause attribution
+
+	// Windowed telemetry (win == nil when Config.Window is zero; every
+	// hot-path hook then reduces to one nil check). Legacy runs own
+	// their merger; topology cells leave winM nil and the shard runner
+	// drains their collectors at the cross-cell watermark.
+	win       *window.Collector
+	winM      *window.Merger
+	downLinks int            // ISL edges currently in outage
+	placeBase placement.Tier // zero-queue base tier of the placement policy
 }
 
 // simPool recycles simulator state — heap, ring buffers, latency and
@@ -225,6 +235,8 @@ func putSim(s *simulator) {
 	s.tr = nil
 	s.rng.src = nil
 	s.place = nil
+	s.win = nil
+	s.winM = nil
 	simPool.Put(s)
 }
 
@@ -372,6 +384,10 @@ func (s *simulator) resetCommon(c Config, src *rand.Rand, workers int) {
 	s.rateMultInt, s.throttledSum, s.brownoutSum = 0, 0, 0
 	s.browned, s.brownoutIdx = 0, 0
 
+	s.win, s.winM = nil, nil
+	s.downLinks = 0
+	s.placeBase = 0
+
 	s.rec = nil
 	for i := range s.evCount {
 		s.evCount[i] = 0
@@ -445,6 +461,11 @@ func (s *simulator) reset(c Config, sched faults.Schedule, deg *degrade.Schedule
 	}
 	s.totalSats = c.Constellation.Satellites
 	s.setPlacement(c.Placement, 1)
+	if c.Window > 0 {
+		w := c.Window.Seconds()
+		s.win = window.NewCollector(w, 0)
+		s.winM = window.NewMerger(w, c.OnWindow)
+	}
 
 	s.links = resizeLinks(s.links, 1)
 	l := &s.links[0]
@@ -568,6 +589,58 @@ func (s *simulator) accrue(t float64) {
 		}
 	}
 	s.lastT = t
+	if s.win != nil {
+		// The environment has been constant since the previous event, so
+		// the span [lastT, t) integrates exactly. Legacy runs fold and
+		// flush closed windows immediately — a single cell's watermark is
+		// its own clock; topology cells hold fragments for the shard
+		// runner's cross-cell watermark.
+		if s.win.Advance(t, s.winEnv()) > 0 && s.winM != nil {
+			for _, f := range s.win.Drain() {
+				s.winM.Add(f)
+			}
+			s.winM.Flush(t)
+		}
+	}
+}
+
+// winEnv snapshots the cell environment for window occupancy. Valid
+// between events only: callers advance the collector before applying
+// the state change at the new event time.
+func (s *simulator) winEnv() window.Env {
+	return window.Env{
+		Up:        s.effective >= s.need,
+		Weight:    float64(s.totalWorkers),
+		Eclipse:   s.deg != nil && s.deg.Phases[s.degPhase].Eclipse,
+		Throttled: s.rateMult < 1,
+		Browned:   s.browned > 0,
+		DownLinks: s.downLinks,
+	}
+}
+
+// closeWindows finalizes the window stream after finish(): occupancy
+// runs out to the horizon, the trailing partial window closes, and
+// every remaining fragment folds into the merger.
+func (s *simulator) closeWindows(m *window.Merger) {
+	if s.win == nil {
+		return
+	}
+	s.win.Advance(s.horizon, s.winEnv())
+	s.win.Close()
+	for _, f := range s.win.Drain() {
+		m.Add(f)
+	}
+}
+
+// closeRunWindows seals a legacy run's own merger and returns the
+// completed windows (nil when windowing is off).
+func (s *simulator) closeRunWindows() []window.Window {
+	if s.winM == nil {
+		return nil
+	}
+	s.closeWindows(s.winM)
+	s.winM.Flush(math.Inf(1))
+	return s.winM.Windows()
 }
 
 func (s *simulator) recount() {
@@ -634,12 +707,14 @@ func (s *simulator) failHead(ei int) {
 		}
 		l.queue.popFront()
 		s.stats.FramesLost++
+		s.win.Count(window.CntLost, 1)
 		if s.place != nil {
 			s.queueLen[placement.TierSpace]--
 		}
 		return
 	}
 	s.stats.FramesRetried++
+	s.win.Count(window.CntRetried, 1)
 	l.retryArmed = true
 	delay := s.backoff(f.tries)
 	if s.rec != nil {
@@ -700,6 +775,7 @@ func (s *simulator) addToInput(si int, f frame) {
 		}
 		in.removeAt(low)
 		s.stats.FramesShed++
+		s.win.Count(window.CntShed, 1)
 		if s.place != nil {
 			s.queueLen[placement.TierSpace]--
 		}
@@ -814,6 +890,7 @@ func (s *simulator) applyPhase(pi int) {
 			w.gen++
 			s.busySum -= w.doneAt - s.now
 			s.stats.FramesRedispatched += len(w.batch)
+			s.win.Count(window.CntRedispatched, int64(len(w.batch)))
 			if s.tr != nil {
 				for _, f := range w.batch {
 					s.tr.Record(trace.Event{T: s.now, Kind: trace.Enqueued,
@@ -881,6 +958,7 @@ func (s *simulator) apply(e event) {
 	switch e.kind {
 	case evFrameReady:
 		s.stats.FramesGenerated++
+		s.win.Count(window.CntGenerated, 1)
 		s.frameID++
 		// The value draw stays immediately before the jitter draw and the
 		// placement decision draws nothing, so the RNG stream is identical
@@ -986,6 +1064,9 @@ func (s *simulator) apply(e event) {
 	case evOutageStart:
 		ei := e.who
 		l := &s.links[ei]
+		if !l.down {
+			s.downLinks++
+		}
 		l.down = true
 		l.outageIdx++
 		l.outageName = ""
@@ -1018,6 +1099,9 @@ func (s *simulator) apply(e event) {
 
 	case evOutageEnd:
 		l := &s.links[e.who]
+		if l.down {
+			s.downLinks--
+		}
 		l.down = false
 		if s.tr != nil {
 			s.tr.Record(trace.Event{T: s.now, Kind: trace.OutageEnd,
@@ -1042,6 +1126,7 @@ func (s *simulator) apply(e event) {
 			w.gen++
 			s.busySum -= w.doneAt - s.now
 			s.stats.FramesRedispatched += len(w.batch)
+			s.win.Count(window.CntRedispatched, int64(len(w.batch)))
 			if s.tr != nil {
 				cause := fmt.Sprintf("node-death#%d", e.who)
 				for _, f := range w.batch {
@@ -1100,12 +1185,14 @@ func (s *simulator) apply(e event) {
 		}
 		w.busy = false
 		s.stats.FramesProcessed += len(w.batch)
+		s.win.Count(window.CntProcessed, int64(len(w.batch)))
 		if s.tr != nil {
 			s.tr.Record(trace.Event{T: s.now, Kind: trace.ComputeEnd,
 				Node: e.who, N: len(w.batch)})
 		}
 		for _, f := range w.batch {
 			s.latencies = append(s.latencies, s.now-f.born)
+			s.win.Latency(s.now - f.born)
 			if s.rec != nil {
 				s.rec.latency.Observe(s.now - f.born)
 			}
@@ -1118,6 +1205,7 @@ func (s *simulator) apply(e event) {
 			}
 			if f.value >= 1-s.c.InsightFraction {
 				s.stats.InsightsDownlinked++
+				s.win.Count(window.CntInsights, 1)
 				if s.tr != nil {
 					s.tr.Record(trace.Event{T: s.now, Kind: trace.Downlinked,
 						Frame: f.id, Node: e.who})
@@ -1139,6 +1227,7 @@ func (s *simulator) apply(e event) {
 				// at `end` was seeded earlier, so it applies first and
 				// unparks the workers before this re-armed timeout fires.
 				s.stats.BatchesDeferred++
+				s.win.Count(window.CntDeferred, 1)
 				s.push(event{at: end, kind: evBatchingOut, who: si})
 				break
 			}

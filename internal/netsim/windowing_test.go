@@ -1,0 +1,214 @@
+package netsim
+
+// Tests for the windowed-telemetry wiring: the merged window stream
+// must reconcile with end-of-run Stats, the trace-derived
+// reconstruction (slo.WindowsFromTrace) must agree with the native
+// stream, and SLO burn-rate alerts must land in the trace with a
+// non-empty attributed cause.
+
+import (
+	"testing"
+	"time"
+
+	"sudc/internal/degrade"
+	"sudc/internal/obs/slo"
+	"sudc/internal/obs/trace"
+	"sudc/internal/obs/window"
+)
+
+// windowConfig is the shared degraded+faulted legacy scenario with
+// 10-minute windows: two satellites, two eclipse crossings, node
+// deaths, SEFIs, ISL outages, retries, and shedding all active.
+func windowConfig() Config {
+	c := degradeBase()
+	c.Faults = degradeFaults
+	c.RetryLimit = 3
+	c.ShedThreshold = 40
+	p := degrade.COTSProfile(1)
+	c.Degrade = &p
+	c.Window = 10 * time.Minute
+	return c
+}
+
+func TestWindowStreamReconcilesWithStats(t *testing.T) {
+	c := windowConfig()
+	var wins []window.Window
+	c.OnWindow = func(w window.Window) { wins = append(wins, w) }
+	s, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) == 0 {
+		t.Fatal("windowed run produced no windows")
+	}
+
+	width := c.Window.Seconds()
+	var total window.Agg
+	for i, w := range wins {
+		if i > 0 && w.Index <= wins[i-1].Index {
+			t.Fatalf("windows out of order: index %d after %d", w.Index, wins[i-1].Index)
+		}
+		if w.Start != float64(w.Index)*width {
+			t.Errorf("w%d start %v, want %v", w.Index, w.Start, float64(w.Index)*width)
+		}
+		if w.End > c.Duration.Seconds() || w.End <= w.Start {
+			t.Errorf("w%d span [%v, %v) escapes the run", w.Index, w.Start, w.End)
+		}
+		if a := w.Availability(); a < 0 || a > 1 {
+			t.Errorf("w%d availability %v outside [0,1]", w.Index, a)
+		}
+		if w.Sec <= 0 || w.Sec > width {
+			t.Errorf("w%d covers %v s, want (0, %v]", w.Index, w.Sec, width)
+		}
+		for k := range total.Counts {
+			total.Counts[k] += w.Counts[k]
+		}
+		total.LatCount += w.LatCount
+		total.EclipseSec += w.EclipseSec
+		total.ThrottleSec += w.ThrottleSec
+	}
+
+	// The window stream partitions the run: per-window counters must sum
+	// to the end-of-run stats exactly.
+	for k, want := range map[window.Counter]int{
+		window.CntGenerated:    s.FramesGenerated,
+		window.CntProcessed:    s.FramesProcessed,
+		window.CntInsights:     s.InsightsDownlinked,
+		window.CntRetried:      s.FramesRetried,
+		window.CntRedispatched: s.FramesRedispatched,
+		window.CntShed:         s.FramesShed,
+		window.CntLost:         s.FramesLost,
+	} {
+		if total.Counts[k] != int64(want) {
+			t.Errorf("windowed %v total %d, stats say %d", k, total.Counts[k], want)
+		}
+	}
+	if total.LatCount != int64(s.FramesProcessed) {
+		t.Errorf("windowed latency samples %d, want one per processed frame %d",
+			total.LatCount, s.FramesProcessed)
+	}
+	// A severity-1 COTS profile over two orbits must show eclipse and
+	// throttle occupancy somewhere in the stream.
+	if total.EclipseSec == 0 || total.ThrottleSec == 0 {
+		t.Errorf("degraded run must accumulate eclipse (%v s) and throttle (%v s) occupancy",
+			total.EclipseSec, total.ThrottleSec)
+	}
+
+	// Windowing must not perturb the simulation itself.
+	plain := c
+	plain.Window = 0
+	plain.OnWindow = nil
+	ps, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps != s {
+		t.Error("enabling windowed telemetry must not change simulation results")
+	}
+}
+
+func TestWindowsFromTraceMatchesNative(t *testing.T) {
+	c := windowConfig()
+	rec := trace.New(0)
+	c.Trace = rec
+	var native []window.Window
+	c.OnWindow = func(w window.Window) { native = append(native, w) }
+	if _, err := Run(c); err != nil {
+		t.Fatal(err)
+	}
+
+	derived := slo.WindowsFromTrace(rec, c.Window.Seconds(), c.Duration.Seconds(),
+		c.Workers, c.NeedWorkers)
+	if len(derived) != len(native) {
+		t.Fatalf("trace reconstruction has %d windows, native stream %d", len(derived), len(native))
+	}
+	// Counters, latency buckets, and sample counts are integer-exact
+	// between the live stream and the trace replay; occupancy integrals
+	// are reconstructions (eclipse ≈ brownout) and are checked loosely.
+	for i := range native {
+		n, d := native[i], derived[i]
+		if d.Index != n.Index {
+			t.Fatalf("window %d: derived index %d, native %d", i, d.Index, n.Index)
+		}
+		if d.Counts != n.Counts {
+			t.Errorf("w%d counts differ:\n trace %v\n native %v", n.Index, d.Counts, n.Counts)
+		}
+		if d.Lat != n.Lat || d.LatCount != n.LatCount {
+			t.Errorf("w%d latency histogram differs:\n trace %v (%d)\n native %v (%d)",
+				n.Index, d.Lat, d.LatCount, n.Lat, n.LatCount)
+		}
+		if (n.ThrottleSec > 0) != (d.ThrottleSec > 0) {
+			t.Errorf("w%d throttle occupancy: trace %v s, native %v s",
+				n.Index, d.ThrottleSec, n.ThrottleSec)
+		}
+	}
+}
+
+func TestSLOAlertsLandInTraceWithCauses(t *testing.T) {
+	c := windowConfig()
+	rec := trace.New(0)
+	c.Trace = rec
+	sloCfg := slo.DefaultConfig()
+	c.SLO = &sloCfg
+	if _, err := Run(c); err != nil {
+		t.Fatal(err)
+	}
+
+	var alerts []trace.Event
+	for _, e := range rec.Events() {
+		if e.Kind == trace.SLOAlert {
+			alerts = append(alerts, e)
+		}
+	}
+	if len(alerts) == 0 {
+		t.Fatal("severity-1 degraded run must fire burn-rate alerts")
+	}
+	for _, a := range alerts {
+		if a.Cause == "" {
+			t.Errorf("alert %q at window %d has no attributed cause", a.Name, a.N)
+		}
+		if a.Name == "" {
+			t.Errorf("alert at t=%v carries no objective name", a.T)
+		}
+		if a.T <= 0 || a.Dur <= 0 {
+			t.Errorf("alert %q has degenerate span t=%v dur=%v", a.Name, a.T, a.Dur)
+		}
+	}
+}
+
+func TestWindowConfigValidation(t *testing.T) {
+	base := windowConfig()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"negative window", func(c *Config) { c.Window = -time.Minute }},
+		{"OnWindow without window", func(c *Config) {
+			c.Window = 0
+			c.OnWindow = func(window.Window) {}
+		}},
+		{"SLO without window", func(c *Config) {
+			c.Window = 0
+			cfg := slo.DefaultConfig()
+			c.SLO = &cfg
+		}},
+		{"invalid SLO objective", func(c *Config) {
+			c.SLO = &slo.Config{Objectives: []slo.Objective{{Kind: slo.Availability, Target: 0.9}}}
+		}},
+	}
+	for _, tc := range cases {
+		c := base
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the config", tc.name)
+		}
+	}
+
+	// RunReplicas multiplexes runs and cannot deliver a per-run live
+	// window stream.
+	c := base
+	c.OnWindow = func(window.Window) {}
+	if _, err := RunReplicas(c, 2, 1); err == nil {
+		t.Error("RunReplicas must reject OnWindow")
+	}
+}

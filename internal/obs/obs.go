@@ -382,6 +382,22 @@ func (s *Series) Points() []Point {
 	return append([]Point(nil), s.pts...)
 }
 
+// Rate returns the per-interval deltas of a monotone (cumulative)
+// series: point i carries the increase since the previous sample, and
+// the first point the increase from zero. Sampling a cumulative
+// counter and reading Rate is therefore equivalent to sampling the
+// per-interval rate directly; the timestamps are unchanged.
+func (s *Series) Rate() []Point {
+	pts := s.Points()
+	var prev float64
+	for i := range pts {
+		v := pts[i].V
+		pts[i].V = v - prev
+		prev = v
+	}
+	return pts
+}
+
 // global is the process-wide registry used by layers with no natural
 // injection point (the DSE); nil means observability is off.
 var global atomic.Pointer[Registry]

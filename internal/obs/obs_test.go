@@ -441,3 +441,23 @@ func TestSeriesSetMaxPointsOnExisting(t *testing.T) {
 	nilS.SetMaxPoints(10)
 	nilS.Sample(1, 1)
 }
+
+func TestSeriesRate(t *testing.T) {
+	s := obs.New().Series("retries")
+	for i, v := range []float64{0, 3, 3, 7} {
+		s.Sample(float64(60*(i+1)), v)
+	}
+	got := s.Rate()
+	want := []obs.Point{{T: 60, V: 0}, {T: 120, V: 3}, {T: 180, V: 0}, {T: 240, V: 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Rate() = %v, want %v", got, want)
+	}
+	// Rate must not mutate the underlying series.
+	if pts := s.Points(); pts[3].V != 7 {
+		t.Errorf("Rate mutated the series: %v", pts)
+	}
+	var nilS *obs.Series
+	if nilS.Rate() != nil {
+		t.Error("nil Series Rate must be nil")
+	}
+}

@@ -318,6 +318,10 @@ func scopeChrome(pid int, scope string, events []Event) []chromeEvent {
 				Args: map[string]any{"rate_mult": e.Mult}})
 		case BrownoutStart:
 			brownout = &openBrownout{start: e.T, n: e.N, cause: e.Cause}
+		case SLOAlert:
+			out = append(out, chromeEvent{Name: fmt.Sprintf("SLO alert: %s", e.Name),
+				Ph: "i", Ts: ts, Pid: pid, Tid: env(), S: "t",
+				Args: map[string]any{"cause": e.Cause, "fast_burn": e.Mult, "window": e.N}})
 		case BrownoutEnd:
 			if brownout == nil {
 				break

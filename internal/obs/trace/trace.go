@@ -94,8 +94,15 @@ const (
 	// BrownoutEnd: the previous brownout lifted (N workers return).
 	BrownoutEnd
 	// Placed: the placement engine routed the frame to compute tier
-	// Tier (onboard, space, ground-edge, or cloud) at capture time.
+	// Tier (onboard, space, ground-edge, or cloud) at capture time. A
+	// Cause of "spill" marks a queue-aware deviation from the
+	// zero-queue base tier.
 	Placed
+	// SLOAlert: the SLO engine's multi-window burn-rate alert fired
+	// for objective Name in window N ([T-Dur, T)); Mult carries the
+	// fast burn average and Cause the ranked environment attribution
+	// (eclipse brownout, thermal throttle, ISL outage, spillover).
+	SLOAlert
 
 	numKinds
 )
@@ -123,6 +130,7 @@ var kindNames = [numKinds]string{
 	BrownoutStart: "brownout_start",
 	BrownoutEnd:   "brownout_end",
 	Placed:        "placed",
+	SLOAlert:      "slo_alert",
 }
 
 // kindByName is the inverse of kindNames, for decoding.
