@@ -291,6 +291,28 @@ func BenchmarkNetsimSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkNetsimSharded4k measures the synchronizer at constellation
+// scale: a 4096-satellite Walker (64 planes × 64 satellites, an SµDC
+// every other plane — 64 cells) over a 10-minute horizon. At this size
+// the per-round machinery itself is on the hook: the tournament tree
+// replaces what would be two 64-cell scans per round, and the active
+// set skips the drained cells. BENCH_shard.json gates the result via
+// the sharded4k_ns_per_op auxiliary field.
+func BenchmarkNetsimSharded4k(b *testing.B) {
+	g, err := topo.Walker(64, 64, 33, 2, 200*time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := netsim.TopologyConfig(workload.Suite[0], g)
+	c.Duration = 10 * time.Minute
+	c.Shards = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := netsim.Run(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkNetsimFaulted measures the same run with every fault process
 // active.
 // BenchmarkNetsimDegraded is BenchmarkNetsimFaulted with the full-

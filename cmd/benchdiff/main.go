@@ -15,6 +15,11 @@
 // through this tool instead of eyeballing free-text bench logs: every
 // PR's overhead budget is enforced, not hand-recorded.
 //
+// A baseline file may gate sibling benchmarks through an "aux_gates"
+// object mapping benchmark names to other top-level numeric fields of
+// the same file — BENCH_shard.json gates the shards=2/8 fan-out and
+// the 4096-satellite run this way, next to its primary shards=1 number.
+//
 // Exit codes: 0 pass, 1 regression (or baseline benchmark missing from
 // the input), 2 usage or parse error.
 package main
@@ -80,14 +85,22 @@ func medians(samples map[string][]float64) map[string]float64 {
 
 // baseline is the machine-readable slice of a BENCH_*.json file. The
 // files carry additional narrative fields (scenario, machine, notes,
-// prior_ns_per_op trajectory); benchdiff needs only the benchmark name
-// and its recorded median.
+// prior_ns_per_op trajectory); benchdiff needs the benchmark name, its
+// recorded median, and — optionally — an aux_gates object mapping
+// further benchmark names to other top-level numeric fields of the
+// same file, so one baseline file can gate a whole benchmark family
+// (e.g. the per-shard-count variants it records alongside its primary
+// number).
 type baseline struct {
-	Benchmark string  `json:"benchmark"`
-	NsPerOp   float64 `json:"ns_per_op"`
+	Benchmark string            `json:"benchmark"`
+	NsPerOp   float64           `json:"ns_per_op"`
+	AuxGates  map[string]string `json:"aux_gates"`
+
+	aux map[string]float64 // resolved aux_gates: benchmark name → ns/op
 }
 
-// readBaseline loads one BENCH_*.json baseline file.
+// readBaseline loads one BENCH_*.json baseline file and resolves its
+// aux_gates references against the file's own top-level fields.
 func readBaseline(path string) (baseline, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -99,6 +112,23 @@ func readBaseline(path string) (baseline, error) {
 	}
 	if b.Benchmark == "" || b.NsPerOp <= 0 {
 		return baseline{}, fmt.Errorf("benchdiff: %s: needs non-empty \"benchmark\" and positive \"ns_per_op\"", path)
+	}
+	if len(b.AuxGates) > 0 {
+		var raw map[string]any
+		if err := json.Unmarshal(data, &raw); err != nil {
+			return baseline{}, fmt.Errorf("benchdiff: %s: %v", path, err)
+		}
+		b.aux = make(map[string]float64, len(b.AuxGates))
+		for bench, field := range b.AuxGates {
+			if !strings.HasPrefix(bench, "Benchmark") {
+				return baseline{}, fmt.Errorf("benchdiff: %s: aux gate %q does not name a Go benchmark", path, bench)
+			}
+			ns, ok := raw[field].(float64)
+			if !ok || ns <= 0 {
+				return baseline{}, fmt.Errorf("benchdiff: %s: aux gate %q needs a positive numeric field %q", path, bench, field)
+			}
+			b.aux[bench] = ns
+		}
 	}
 	return b, nil
 }
@@ -199,6 +229,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 			base[b.Benchmark] = b.NsPerOp
+			for name, ns := range b.aux {
+				base[name] = ns
+			}
 		}
 		newPath = fs.Arg(0)
 	case len(baselines) == 0 && fs.NArg() == 2:

@@ -123,9 +123,10 @@ func TestBaselineMode(t *testing.T) {
 }
 
 // TestRepoBaselinesParse guards the checked-in BENCH_*.json files: each
-// must carry the benchmark name and ns_per_op benchdiff keys.
+// must carry the benchmark name and ns_per_op benchdiff keys, and any
+// aux_gates must resolve against the file's own fields.
 func TestRepoBaselinesParse(t *testing.T) {
-	for _, name := range []string{"BENCH_netsim.json", "BENCH_obs.json", "BENCH_trace.json", "BENCH_par.json"} {
+	for _, name := range []string{"BENCH_netsim.json", "BENCH_obs.json", "BENCH_trace.json", "BENCH_par.json", "BENCH_shard.json"} {
 		b, err := readBaseline(filepath.Join("..", "..", name))
 		if err != nil {
 			t.Errorf("%s: %v", name, err)
@@ -133,6 +134,64 @@ func TestRepoBaselinesParse(t *testing.T) {
 		}
 		if !strings.HasPrefix(b.Benchmark, "Benchmark") {
 			t.Errorf("%s: benchmark %q does not name a Go benchmark", name, b.Benchmark)
+		}
+	}
+	// BENCH_shard.json gates the whole sharded family through aux_gates.
+	b, err := readBaseline(filepath.Join("..", "..", "BENCH_shard.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"BenchmarkNetsimSharded/shards=2",
+		"BenchmarkNetsimSharded/shards=8",
+		"BenchmarkNetsimSharded4k",
+	} {
+		if b.aux[want] <= 0 {
+			t.Errorf("BENCH_shard.json: aux gate %q unresolved (aux %v)", want, b.aux)
+		}
+	}
+}
+
+// TestAuxGateBaseline pins the aux_gates expansion: one baseline file
+// gates its sibling benchmarks, regressions in an aux benchmark fail
+// the run, and dangling field references are usage errors.
+func TestAuxGateBaseline(t *testing.T) {
+	dir := t.TempDir()
+	basePath := writeFile(t, dir, "BENCH_aux.json", `{
+  "benchmark": "BenchmarkSharded/shards=1",
+  "ns_per_op": 1000,
+  "shards8_ns_per_op": 1200,
+  "aux_gates": {"BenchmarkSharded/shards=8": "shards8_ns_per_op"}
+}`)
+	okPath := writeFile(t, dir, "ok.txt",
+		"BenchmarkSharded/shards=1-8 5 1010 ns/op\nBenchmarkSharded/shards=8-8 5 1190 ns/op\nPASS\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-baseline", basePath, okPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s\n%s", code, errOut.String(), out.String())
+	}
+	checkGolden(t, "report_aux.golden", out.String())
+
+	// A regression in the aux-gated benchmark alone must fail the gate.
+	slowPath := writeFile(t, dir, "slow.txt",
+		"BenchmarkSharded/shards=1-8 5 1010 ns/op\nBenchmarkSharded/shards=8-8 5 1500 ns/op\nPASS\n")
+	out.Reset()
+	if code := run([]string{"-baseline", basePath, slowPath}, &out, &errOut); code != 1 {
+		t.Fatalf("aux regression: exit %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("report missing REGRESSION mark:\n%s", out.String())
+	}
+
+	// Dangling aux field references and non-benchmark keys are errors.
+	for _, bad := range []string{
+		`{"benchmark": "BenchmarkX", "ns_per_op": 1, "aux_gates": {"BenchmarkY": "missing_field"}}`,
+		`{"benchmark": "BenchmarkX", "ns_per_op": 1, "not_ns": "text", "aux_gates": {"BenchmarkY": "not_ns"}}`,
+		`{"benchmark": "BenchmarkX", "ns_per_op": 1, "f": 2, "aux_gates": {"y": "f"}}`,
+	} {
+		badPath := writeFile(t, dir, "bad.json", bad)
+		out.Reset()
+		if code := run([]string{"-baseline", badPath, okPath}, &out, &errOut); code != 2 {
+			t.Errorf("bad baseline %s: exit %d, want 2", bad, code)
 		}
 	}
 }

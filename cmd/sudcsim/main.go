@@ -26,6 +26,9 @@
 //	-isl-delay ms    inter-plane ISL propagation delay (default 200)
 //	-shards n        parallel cell shards, 0 = one per CPU; any value
 //	                 yields byte-identical results
+//	-shard-stats     print the synchronizer summary line: windows run,
+//	                 mean active cells and cross-cell messages per
+//	                 window, and the mean proven lookahead per cell run
 //
 // Fault injection and degraded-mode operation:
 //
@@ -135,6 +138,7 @@ func run(args []string, out io.Writer) error {
 	sudcEvery := fs.Int("sudc-every", 1, "SµDC placed every k-th plane; the rest relay (with -planes)")
 	islDelayMs := fs.Float64("isl-delay", 200, "inter-plane ISL propagation delay in ms (with -planes)")
 	shards := fs.Int("shards", 0, "parallel cell shards for topology runs (0 = one per CPU)")
+	shardStats := fs.Bool("shard-stats", false, "print the sharded synchronizer summary (with -planes)")
 	mttfH := fs.Float64("mttf", 0, "mean time to permanent worker death in hours (0 = off)")
 	sefiM := fs.Float64("sefi", 0, "mean time between SEFI hangs in minutes (0 = off)")
 	sefiRecS := fs.Float64("sefi-rec", 30, "mean SEFI recovery in seconds")
@@ -333,6 +337,20 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  compute energy       %.1f kWh\n", s.ComputeEnergy.WattHours()/1e3)
 	if *planes > 0 {
 		fmt.Fprintf(out, "  cross-shard frames   %d\n", s.CrossShardFrames)
+	}
+	if *shardStats && *planes > 0 {
+		sy := s.Sync
+		rounds := sy.Rounds
+		if rounds < 1 {
+			rounds = 1
+		}
+		runs := sy.CellRuns
+		if runs < 1 {
+			runs = 1
+		}
+		fmt.Fprintf(out, "  sync: %d windows, %.1f active cells/window, %.1f msgs/window, %.3fs mean lookahead\n",
+			sy.Rounds, float64(sy.CellRuns)/float64(rounds),
+			float64(sy.CrossMsgs)/float64(rounds), sy.LookaheadSum/float64(runs))
 	}
 	if cfg.Faults.Enabled() || *spares > 0 {
 		if *planes > 0 {

@@ -275,6 +275,25 @@ func TestPlacementOffByDefault(t *testing.T) {
 	}
 }
 
+func TestShardStatsFlagPrintsSyncSummary(t *testing.T) {
+	args := []string{"-planes", "2", "-sats-per-plane", "4", "-hours", "0.5", "-shards", "2"}
+	out := runSim(t, append(args, "-shard-stats")...)
+	for _, want := range []string{
+		"sync:", "windows", "active cells/window", "msgs/window", "mean lookahead",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-shard-stats output missing %q:\n%s", want, out)
+		}
+	}
+	if out := runSim(t, args...); strings.Contains(out, "sync:") {
+		t.Errorf("sync summary must be opt-in:\n%s", out)
+	}
+	// The flag is topology-only: a star-mode run stays silent.
+	if out := runSim(t, "-hours", "0.5", "-shard-stats"); strings.Contains(out, "sync:") {
+		t.Errorf("star-mode run must not print the sync summary:\n%s", out)
+	}
+}
+
 func TestSLOFlagPrintsWindowedReport(t *testing.T) {
 	out := runSim(t, "-satellites", "2", "-power", "0.5", "-hours", "2",
 		"-mttf", "2", "-sefi", "20", "-outage", "15", "-throttle", "1",

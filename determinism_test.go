@@ -25,6 +25,7 @@ import (
 	"sudc/internal/par"
 	"sudc/internal/par/partest"
 	"sudc/internal/topo"
+	"sudc/internal/units"
 	"sudc/internal/workload"
 )
 
@@ -486,6 +487,77 @@ func TestShardedTopologyInvariantUnderShardCount(t *testing.T) {
 				}
 				if chrome != refChrome {
 					t.Errorf("shards=%d: Chrome export differs from shards=1", sh)
+				}
+			}
+		})
+	}
+}
+
+func TestClustersRingInvariantUnderShardAndWorkerCount(t *testing.T) {
+	// A relay ring has heterogeneous cell-graph delays: 2 ms FSO hops
+	// inside each cluster and 400 ms ring ISLs between them, so the
+	// per-cell lookahead fixpoint assigns genuinely different limits per
+	// cell and round — the regime the old global min-delay window never
+	// exercised. Every export must stay byte-identical across process
+	// worker and shard counts, fault-free and degraded.
+	g, err := topo.ClustersRing(6, 8, 4, 2, 10*units.Gbps, 2*time.Millisecond, 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := netsim.TopologyConfig(workload.Suite[0], g)
+	base.BatchSize = 4
+	base.BatchTimeout = 30 * time.Second
+	base.Duration = 30 * time.Minute
+	base.Seed = 9
+
+	degraded := base
+	degraded.Faults = faults.Scenario{
+		NodeMTTF:          2 * time.Hour,
+		SEFIMTBE:          20 * time.Minute,
+		SEFIRecovery:      30 * time.Second,
+		ISLOutageMTBF:     30 * time.Minute,
+		ISLOutageDuration: time.Minute,
+	}
+	degraded.RetryLimit = 3
+	degraded.ShedThreshold = 40
+	degraded.Duration = 2 * time.Hour
+	cots := degrade.COTSProfile(0.75)
+	degraded.Degrade = &cots
+
+	for _, tc := range []struct {
+		name string
+		cfg  netsim.Config
+	}{
+		{"fault-free", base},
+		{"degraded", degraded},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			refStats, refSnap, refJSONL, refChrome := shardExports(t, tc.cfg, 1)
+			if refStats.CrossShardFrames == 0 {
+				t.Fatal("relay clusters produced no cross-cell traffic")
+			}
+			if refStats.Sync.Rounds == 0 || refStats.Sync.CellRuns == 0 {
+				t.Fatalf("sync stats not populated: %+v", refStats.Sync)
+			}
+			for _, w := range []int{1, 2, 8} {
+				for _, sh := range []int{1, 2, 8} {
+					w, sh := w, sh
+					t.Run(fmt.Sprintf("workers=%d/shards=%d", w, sh), func(t *testing.T) {
+						partest.WithDefaultWorkers(t, w)
+						s, snap, jsonl, chrome := shardExports(t, tc.cfg, sh)
+						if s != refStats {
+							t.Errorf("stats differ from workers=1/shards=1:\n got  %+v\n want %+v", s, refStats)
+						}
+						if snap != refSnap {
+							t.Error("metric snapshot differs from workers=1/shards=1")
+						}
+						if jsonl != refJSONL {
+							t.Error("JSONL export differs from workers=1/shards=1")
+						}
+						if chrome != refChrome {
+							t.Error("Chrome export differs from workers=1/shards=1")
+						}
+					})
 				}
 			}
 		})

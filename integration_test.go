@@ -8,6 +8,7 @@ package sudc
 import (
 	"math"
 	"testing"
+	"time"
 
 	"sudc/internal/accel"
 	"sudc/internal/constellation"
@@ -17,6 +18,7 @@ import (
 	"sudc/internal/netsim"
 	"sudc/internal/planner"
 	"sudc/internal/sscm"
+	"sudc/internal/topo"
 	"sudc/internal/units"
 	"sudc/internal/workload"
 )
@@ -206,5 +208,42 @@ func TestLifetimeDoseVsHardwareDecision(t *testing.T) {
 	// conservative low end of the COTS band.
 	if float64(leoDose) > 2 {
 		t.Errorf("LEO 5-yr dose behind 400 mils = %v, want <2 krad", leoDose)
+	}
+}
+
+// TestTenThousandSatelliteSmoke compiles and runs a ~10k-satellite
+// Walker constellation (157 planes × 64 satellites, 157 cells) through
+// the sharded synchronizer for a short horizon — the scale target of
+// the tournament-tree scheduler. Skipped under -short; the run takes
+// on the order of a second.
+func TestTenThousandSatelliteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-satellite smoke skipped in short mode")
+	}
+	g, err := topo.Walker(157, 64, 33, 2, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Sats() != 157*64 {
+		t.Fatalf("constellation has %d satellites, want %d", g.Sats(), 157*64)
+	}
+	c := netsim.TopologyConfig(workload.Suite[0], g)
+	c.Duration = 5 * time.Minute
+	c.Shards = 2
+	s, err := netsim.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FramesGenerated == 0 || s.FramesProcessed == 0 {
+		t.Errorf("no traffic simulated: %+v", s)
+	}
+	if s.CrossShardFrames == 0 {
+		t.Error("no frames crossed cells — the synchronizer was not exercised")
+	}
+	if s.Sync.Rounds == 0 || s.Sync.CellRuns == 0 {
+		t.Errorf("sync stats not populated: %+v", s.Sync)
+	}
+	if got := s.FramesProcessed + s.FramesShed + s.FramesLost + s.Backlog; got != s.FramesGenerated {
+		t.Errorf("conservation broken at 10k scale: %d vs generated %d", got, s.FramesGenerated)
 	}
 }

@@ -155,6 +155,7 @@ const frameIDBits = 40
 func (s *simulator) resetTopo(c Config, p *cellPlan, sched faults.Schedule, deg *degrade.Schedule, cell, cells int) {
 	s.resetCommon(c, s.ownRand, p.workers)
 	s.topoMode = true
+	s.mergeLat = cells > 1
 	s.setDegrade(deg)
 	s.need = p.workers
 	s.totalSats = p.sats
@@ -207,6 +208,7 @@ func (s *simulator) resetTopo(c Config, p *cellPlan, sched faults.Schedule, deg 
 
 	s.q.grow(p.sats + 4*p.workers +
 		len(sched.Deaths) + len(sched.Hangs) + len(sched.Outages) + s.degPhases() + 64)
+	s.fq.grow(p.sats)
 	s.sizeLatencies(p.sats)
 
 	if c.Obs != nil {

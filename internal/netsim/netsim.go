@@ -416,6 +416,29 @@ type Stats struct {
 	TierDollars     [placement.NumTiers]float64
 	PlacedMeanCost  float64
 	OracleMeanCost  float64
+
+	// Sync summarizes the conservative synchronizer of a multi-cell
+	// topology run. Zero for legacy and single-cell runs.
+	Sync SyncStats
+}
+
+// SyncStats describes the sharded runner's synchronization behavior.
+// Every field is a pure function of the config — never of
+// Config.Shards or the worker count — so it inherits the byte-identity
+// contract and is safe to compare across shard counts.
+type SyncStats struct {
+	// Rounds counts executed synchronization rounds (windows).
+	Rounds int
+	// CellRuns counts per-cell executions summed over all rounds; idle
+	// and drained cells are skipped and contribute nothing.
+	CellRuns int
+	// CrossMsgs counts cross-cell messages exchanged at round barriers.
+	CrossMsgs int
+	// LookaheadSum accumulates each executed cell's lookahead width —
+	// its run limit (capped at the horizon) minus the round's earliest
+	// event time — in simulated seconds. LookaheadSum / CellRuns is the
+	// mean lookahead width.
+	LookaheadSum float64
 }
 
 // event kinds.

@@ -2,27 +2,57 @@ package netsim
 
 // Sharded topology execution: each graph cell (orbital plane, cluster)
 // runs the allocation-free DES core on its own subgraph, and cells
-// synchronize with a conservative lookahead window in the style of
-// Chandy–Misra–Bryant. The window width W is the minimum cross-cell
-// ISL propagation delay: every event a cell processes in the window
-// [T, T+W) can only emit cross-cell frames arriving at ≥ T+W, so a
-// cell that stops strictly before T+W can never receive a message from
-// the past. Cross-cell frames are carried between windows as
-// timestamped shardMsg values and injected before the next window
-// opens.
+// synchronize conservatively in the style of Chandy–Misra–Bryant.
 //
-// Determinism contract: the window boundaries, the per-cell RNG
-// streams (par.ForkSeed(Seed, cell)), and the message injection order
-// (cell order, then arrival time, stable) are all pure functions of
-// the config — never of Config.Shards, which only caps how many
-// goroutines advance cells concurrently. Results are byte-identical
-// for any shard count.
+// Per-cell lookahead. Let next_i be cell i's earliest local event and
+// d_ji the minimum cross-cell delay of the edges j → i (from
+// topo.CellGraph). The earliest simulated time cell j can still act at
+// is the relaxation fixpoint
+//
+//	T_i = min(next_i, min_j (T_j + d_ji))
+//
+// — j cannot act before its own next event or before the earliest
+// message that could reach it wakes it. computeLimits solves the
+// fixpoint with a Dijkstra pass over the cell graph (all cells are
+// sources, keyed next_i; cross-cell delays are validated positive) and
+// sets each cell's run limit to
+//
+//	limit_i = min_j (T_j + d_ji)
+//
+// collected as the incoming neighbors j settle. By induction on the
+// global event order, nothing cell j ever does happens before T_j, so
+// no message can reach cell i before limit_i: i safely processes every
+// event with at < limit_i this round. A cell whose limit reaches the
+// horizon runs to it inclusively (matching the legacy `at > horizon`
+// stop); a cell with no incoming cross-cell edges has limit_i = +Inf
+// and finishes in its first round. The fixpoint is never more
+// conservative than the old global tmin + min-cross-delay window, and
+// on graphs with heterogeneous delays (short FSO hops, long ring ISLs)
+// cells run far ahead of the old window, collapsing the round count.
+//
+// Mechanics per round: pending cross-cell messages are injected (their
+// cells' tournament-tree keys refreshed), limits are computed, and the
+// active set — cells holding an event below their limit — runs either
+// inline or on the persistent worker pool. Each cell sorts its own
+// outbox; the runner then k-way-merges the sorted outboxes through the
+// same tournament tree, which reproduces the stable
+// gather-then-sort order the implementation used before.
+//
+// Determinism contract: the round structure, the per-cell limits, the
+// per-cell RNG streams (par.ForkSeed(Seed, cell)), and the message
+// injection order (arrival time, then cell order, stable) are all pure
+// functions of the config — never of Config.Shards, which only caps
+// how many goroutines advance cells concurrently. Results are
+// byte-identical for any shard count.
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sudc/internal/degrade"
@@ -34,25 +64,64 @@ import (
 	"sudc/internal/units"
 )
 
+// cellEdge is one directed cell-graph edge in simulator units.
+type cellEdge struct {
+	cell  int
+	delay float64 // min cross-cell propagation delay, s
+}
+
 // shardRunner drives one topology run: the per-cell simulators, the
-// pending cross-cell messages, and the synchronization constants.
+// pending cross-cell messages, and the synchronization state.
 type shardRunner struct {
 	c       Config
 	sims    []*simulator
 	pending []shardMsg // cross-cell frames awaiting injection
 
 	horizon  float64
-	wsec     float64 // conservative lookahead window, s
 	hasCross bool
 	eff      int // goroutines advancing cells
+
+	// Lookahead state. next holds every cell's next-event time; dij is
+	// the Dijkstra scratch tree of tentative output times. The stamp
+	// arrays (done, lstamp, touched) are versioned by round so no
+	// per-round O(cells) clearing is needed.
+	out     [][]cellEdge
+	next    minTree
+	dij     minTree
+	limit   []float64
+	lstamp  []int
+	finalC  []bool
+	done    []int
+	touched []int
+	tlist   []int
+	popped  []int
+	active  []int // cells to run this round, ascending
+	round   int
+
+	// Outbox-merge scratch.
+	msrc  [][]shardMsg
+	mhead []int
+	mrg   minTree
+
+	// Persistent worker pool (lazy; see runActiveCells). Workers pull
+	// active-list indices off workIdx, so the per-round cost is one
+	// channel send per worker instead of a goroutine spawn per cell.
+	started bool
+	wake    []chan struct{}
+	wg      sync.WaitGroup
+	workIdx atomic.Int64
+
+	syncStats SyncStats
+
+	// winM merges per-cell window fragments at the cross-cell watermark
+	// (nil when Config.Window is zero); winNext is the next window
+	// boundary to cross, so rounds between boundaries skip the flush.
+	winM    *window.Merger
+	winNext float64
 
 	weights []int // per-cell worker counts, for merging
 	linksN  []int // per-cell link counts
 	allLat  []float64
-
-	// winM merges per-cell window fragments at the cross-cell watermark
-	// (nil when Config.Window is zero).
-	winM *window.Merger
 
 	// Placement merge accumulators (unused without Config.Placement).
 	tierLat   [placement.NumTiers][]float64
@@ -65,28 +134,51 @@ type shardRunner struct {
 // multi-cell topologies fork one seed, obs scope, and trace child
 // ("c%03d") per cell.
 func newShardRunner(c Config, plans []cellPlan, deg *degrade.Schedule) (*shardRunner, error) {
+	n := len(plans)
 	r := &shardRunner{
 		c:       c,
 		horizon: c.Duration.Seconds(),
-		sims:    make([]*simulator, 0, len(plans)),
-		weights: make([]int, len(plans)),
-		linksN:  make([]int, len(plans)),
+		sims:    make([]*simulator, 0, n),
+		weights: make([]int, n),
+		linksN:  make([]int, n),
+		limit:   make([]float64, n),
+		lstamp:  make([]int, n),
+		finalC:  make([]bool, n),
+		done:    make([]int, n),
+		touched: make([]int, n),
 	}
-	if w, ok := c.Topology.MinCrossDelay(); ok {
-		r.hasCross = true
-		r.wsec = w.Seconds()
+	if n > 1 {
+		outT, _ := c.Topology.CellGraph()
+		r.out = make([][]cellEdge, n)
+		for i, row := range outT {
+			for _, e := range row {
+				r.out[i] = append(r.out[i], cellEdge{cell: e.Cell, delay: e.Delay.Seconds()})
+				r.hasCross = true
+			}
+		}
 	}
 	if c.Window > 0 {
 		r.winM = window.NewMerger(c.Window.Seconds(), c.OnWindow)
+		r.winNext = c.Window.Seconds()
 	}
 	r.eff = c.Shards
 	if r.eff <= 0 {
 		r.eff = par.DefaultWorkers()
 	}
-	if r.eff > len(plans) {
-		r.eff = len(plans)
+	if r.eff > n {
+		r.eff = n
 	}
-	multi := len(plans) > 1
+	// More runners than schedulable cores is pure scheduler churn —
+	// results are shard-invariant, so the cap costs nothing. The floor
+	// of two keeps the pool's barrier machinery exercised (and under
+	// -race, raced) on single-core hosts.
+	if maxp := runtime.GOMAXPROCS(0); r.eff > maxp {
+		r.eff = maxp
+		if r.eff < 2 {
+			r.eff = 2
+		}
+	}
+	multi := n > 1
 	for i := range plans {
 		p := &plans[i]
 		cc := c
@@ -116,65 +208,271 @@ func newShardRunner(c Config, plans []cellPlan, deg *degrade.Schedule) (*shardRu
 			s.ownRand.Seed(cc.Seed)
 		}
 		r.sims = append(r.sims, s)
-		s.resetTopo(cc, p, sched, deg, i, len(plans))
+		s.resetTopo(cc, p, sched, deg, i, n)
 		r.weights[i] = p.workers
 		r.linksN[i] = len(p.links)
+	}
+	r.next.reset(n)
+	for i, s := range r.sims {
+		r.next.update(i, s.nextAt())
 	}
 	return r, nil
 }
 
-// window advances every cell through one synchronization window and
-// exchanges the cross-cell frames it produced. It returns false once
-// no cell holds an event within the horizon.
+// window advances the active cells through one synchronization round
+// and exchanges the cross-cell frames they produced. It returns false
+// once no cell holds an event within the horizon.
 func (r *shardRunner) window() bool {
+	r.round++
+	// Deliver the messages gathered at the previous barrier and refresh
+	// the next-event keys of the cells they landed in.
 	for i := range r.pending {
 		m := r.pending[i]
 		r.sims[m.cell].inject(m)
-	}
-	r.pending = r.pending[:0]
-
-	tmin := math.Inf(1)
-	for _, s := range r.sims {
-		if at := s.nextAt(); at < tmin {
-			tmin = at
+		if r.touched[m.cell] != r.round {
+			r.touched[m.cell] = r.round
+			r.tlist = append(r.tlist, m.cell)
 		}
 	}
+	r.pending = r.pending[:0]
+	for _, c := range r.tlist {
+		r.next.update(c, r.sims[c].nextAt())
+	}
+	r.tlist = r.tlist[:0]
+
+	tmin := r.next.minKey()
 	if tmin > r.horizon {
 		return false
 	}
-	// Without cross-cell edges the cells are independent: one final
-	// window runs each to the horizon. With them, cells may process
-	// events strictly below tmin+W; the horizon boundary is inclusive
-	// to match the legacy `at > horizon` stop.
-	limit, final := r.horizon, true
-	if r.hasCross {
-		if l := tmin + r.wsec; l < r.horizon {
-			limit, final = l, false
+	r.computeLimits()
+	r.buildActive(tmin)
+	if len(r.active) == 0 {
+		// Unreachable while tmin ≤ horizon (the tmin cell's limit
+		// exceeds tmin by its positive min incoming delay), but kept as
+		// a termination backstop.
+		return false
+	}
+	r.runActiveCells()
+
+	// Post-barrier, single-threaded: refresh the ran cells' tree keys
+	// and k-way-merge their outboxes into the pending exchange.
+	r.msrc = r.msrc[:0]
+	nmsg := 0
+	for _, c := range r.active {
+		s := r.sims[c]
+		r.next.update(c, s.nextAt())
+		if len(s.outbox) > 0 {
+			r.msrc = append(r.msrc, s.outbox)
+			nmsg += len(s.outbox)
 		}
 	}
-	if r.eff <= 1 {
-		for _, s := range r.sims {
-			s.runUntil(limit, final)
+	r.mergeOutboxes(nmsg)
+	for _, c := range r.active {
+		r.sims[c].outbox = r.sims[c].outbox[:0]
+	}
+	r.syncStats.CrossMsgs += nmsg
+	r.flushWindows()
+	return true
+}
+
+// limitOf returns cell i's run limit for this round (+Inf when no
+// settled neighbor relaxed it).
+func (r *shardRunner) limitOf(i int) float64 {
+	if r.lstamp[i] == r.round {
+		return r.limit[i]
+	}
+	return math.Inf(1)
+}
+
+// computeLimits solves the lookahead fixpoint for the round (see the
+// package comment): a Dijkstra pass over the cell graph keyed by
+// next-event times, recording each cell's earliest possible incoming
+// message as its neighbors settle. Cells settling past the horizon are
+// cut off — their contributions cannot pull any limit below it.
+func (r *shardRunner) computeLimits() {
+	r.popped = r.popped[:0]
+	if !r.hasCross {
+		return
+	}
+	r.dij.loadFrom(&r.next)
+	inf := math.Inf(1)
+	for {
+		u := r.dij.minLeaf()
+		k := r.dij.key[u]
+		if k > r.horizon {
+			return
+		}
+		r.dij.update(u, inf)
+		r.done[u] = r.round
+		r.popped = append(r.popped, u)
+		for _, e := range r.out[u] {
+			cand := k + e.delay
+			if r.lstamp[e.cell] != r.round || cand < r.limit[e.cell] {
+				r.lstamp[e.cell] = r.round
+				r.limit[e.cell] = cand
+			}
+			if r.done[e.cell] != r.round && cand < r.dij.key[e.cell] {
+				r.dij.update(e.cell, cand)
+			}
+		}
+	}
+}
+
+// buildActive selects the cells to run this round — every cell holding
+// an event below its limit (idle and drained cells are skipped) — and
+// fixes each one's run limit and final flag. Only cells settled by the
+// Dijkstra pass can qualify, so the scan never touches the full cell
+// array on graphs with cross-cell edges.
+func (r *shardRunner) buildActive(tmin float64) {
+	r.active = r.active[:0]
+	if !r.hasCross {
+		// Independent cells: one final round runs each to the horizon.
+		for i, s := range r.sims {
+			if s.nextAt() <= r.horizon {
+				r.limit[i], r.lstamp[i], r.finalC[i] = r.horizon, r.round, true
+				r.active = append(r.active, i)
+			}
 		}
 	} else {
-		// The per-cell closure is error-free; ForNErr is used for its
-		// worker-count option.
-		_ = par.ForNErr(len(r.sims), func(i int) error {
-			r.sims[i].runUntil(limit, final)
-			return nil
-		}, par.Workers(r.eff))
+		for _, u := range r.popped {
+			lim := r.limitOf(u)
+			nx := r.next.key[u]
+			if lim >= r.horizon {
+				if nx <= r.horizon {
+					r.limit[u], r.lstamp[u], r.finalC[u] = r.horizon, r.round, true
+					r.active = append(r.active, u)
+				}
+			} else if nx < lim {
+				r.finalC[u] = false
+				r.active = append(r.active, u)
+			}
+		}
+		// Settle order is (T, cell) — re-canonicalize to ascending cell
+		// order, which fixes the merge tie-break and the gather order.
+		sort.Ints(r.active)
 	}
-	// Gather outboxes in cell order — deterministic regardless of which
-	// goroutine finished first — then order by arrival time.
-	for _, s := range r.sims {
-		r.pending = append(r.pending, s.outbox...)
-		s.outbox = s.outbox[:0]
+	r.syncStats.Rounds++
+	r.syncStats.CellRuns += len(r.active)
+	for _, u := range r.active {
+		w := r.limit[u]
+		if w > r.horizon {
+			w = r.horizon
+		}
+		r.syncStats.LookaheadSum += w - tmin
 	}
-	sortMsgs(r.pending)
-	r.flushWindows()
-	// A final window can still emit cross-cell frames arriving within
-	// the horizon; loop again to deliver them.
-	return !final || len(r.pending) > 0
+}
+
+// runActiveCells advances every active cell to its limit. With one
+// effective shard (or one active cell) the loop runs inline; otherwise
+// the persistent workers are woken and pull cells off the shared
+// index. Each cell sorts its own outbox inside the parallel region.
+func (r *shardRunner) runActiveCells() {
+	if r.eff <= 1 || len(r.active) == 1 {
+		for _, c := range r.active {
+			r.runCell(c)
+		}
+		return
+	}
+	if !r.started {
+		r.startPool()
+	}
+	r.workIdx.Store(0)
+	r.wg.Add(len(r.wake))
+	for _, ch := range r.wake {
+		ch <- struct{}{}
+	}
+	r.runShare()
+	r.wg.Wait()
+}
+
+// runCell executes one cell's round.
+func (r *shardRunner) runCell(c int) {
+	s := r.sims[c]
+	s.runUntil(r.limit[c], r.finalC[c])
+	sortMsgs(s.outbox, &s.msgScratch)
+}
+
+// runShare drains active-list indices until the round's work is gone.
+func (r *shardRunner) runShare() {
+	for {
+		i := int(r.workIdx.Add(1)) - 1
+		if i >= len(r.active) {
+			return
+		}
+		r.runCell(r.active[i])
+	}
+}
+
+// startPool spawns the eff-1 persistent workers (the caller's
+// goroutine is the eff-th). Each waits on its wake channel, runs its
+// share of the active list, and signals the barrier WaitGroup.
+func (r *shardRunner) startPool() {
+	r.started = true
+	r.wake = make([]chan struct{}, r.eff-1)
+	for i := range r.wake {
+		ch := make(chan struct{}, 1)
+		r.wake[i] = ch
+		go func() {
+			for range ch {
+				r.runShare()
+				r.wg.Done()
+			}
+		}()
+	}
+}
+
+// stopPool retires the persistent workers.
+func (r *shardRunner) stopPool() {
+	if !r.started {
+		return
+	}
+	for _, ch := range r.wake {
+		close(ch)
+	}
+	r.started = false
+}
+
+// mergeOutboxes k-way-merges the time-sorted per-cell outboxes in
+// r.msrc (ascending cell order) into r.pending. Ties resolve to the
+// lower source index — the lower cell — and each source is itself
+// stable, so the merged order is exactly the stable
+// sort-by-arrival-time of the concatenation.
+func (r *shardRunner) mergeOutboxes(n int) {
+	switch len(r.msrc) {
+	case 0:
+		return
+	case 1:
+		r.pending = append(r.pending, r.msrc[0]...)
+		return
+	}
+	if n <= 32 {
+		// Typical rounds exchange a handful of messages; gathering in
+		// cell order and stable-insertion-sorting the gathered tail by
+		// arrival time produces the tree merge's exact order without
+		// the tree setup.
+		base := len(r.pending)
+		for _, src := range r.msrc {
+			r.pending = append(r.pending, src...)
+		}
+		insertMsgs(r.pending[base:])
+		return
+	}
+	r.mhead = r.mhead[:0]
+	r.mrg.reset(len(r.msrc))
+	for i, src := range r.msrc {
+		r.mhead = append(r.mhead, 0)
+		r.mrg.update(i, src[0].at)
+	}
+	for ; n > 0; n-- {
+		w := r.mrg.minLeaf()
+		r.pending = append(r.pending, r.msrc[w][r.mhead[w]])
+		r.mhead[w]++
+		if r.mhead[w] < len(r.msrc[w]) {
+			r.mrg.update(w, r.msrc[w][r.mhead[w]].at)
+		} else {
+			r.mrg.update(w, math.Inf(1))
+		}
+	}
 }
 
 // flushWindows advances every cell's window collector to the
@@ -183,23 +481,26 @@ func (r *shardRunner) window() bool {
 // fragments into the merger. Below the watermark every cell's
 // environment is provably constant (its own next event and every
 // message that could perturb it lie at or beyond it), so the advance
-// is exact. The watermark and the cell drain order are pure functions
-// of the config, never of Config.Shards, so the merged window stream
-// inherits the byte-identity contract.
+// is exact. Rounds whose watermark has not crossed the next window
+// boundary skip the O(cells) drain entirely: the fragments fold
+// identically once the boundary is crossed, because each cell's
+// occupancy between its own events is constant. The watermark and the
+// cell drain order are pure functions of the config, never of
+// Config.Shards, so the merged window stream inherits the
+// byte-identity contract.
 func (r *shardRunner) flushWindows() {
 	if r.winM == nil {
 		return
 	}
-	wm := r.horizon
-	for _, s := range r.sims {
-		if at := s.nextAt(); at < wm {
-			wm = at
-		}
+	wm := r.next.minKey()
+	if len(r.pending) > 0 && r.pending[0].at < wm {
+		wm = r.pending[0].at
 	}
-	for i := range r.pending {
-		if r.pending[i].at < wm {
-			wm = r.pending[i].at
-		}
+	if wm > r.horizon {
+		wm = r.horizon
+	}
+	if wm < r.winNext {
+		return
 	}
 	for _, s := range r.sims {
 		s.win.Advance(wm, s.winEnv())
@@ -208,14 +509,17 @@ func (r *shardRunner) flushWindows() {
 		}
 	}
 	r.winM.Flush(wm)
+	width := r.c.Window.Seconds()
+	r.winNext = (math.Floor(wm/width) + 1) * width
 }
 
-// finish closes every cell and merges the per-cell Stats: frame
-// counters sum, availability-style fractions average weighted by
-// worker count (so worker-less relay cells drop out), ISL utilization
-// averages weighted by link count, and the latency distribution is
-// recomputed over the merged samples.
+// finish retires the worker pool, closes every cell, and merges the
+// per-cell Stats: frame counters sum, availability-style fractions
+// average weighted by worker count (so worker-less relay cells drop
+// out), ISL utilization averages weighted by link count, and the
+// latency distribution is recomputed over the merged samples.
 func (r *shardRunner) finish() Stats {
+	r.stopPool()
 	if len(r.sims) == 1 {
 		// Single cell: the cell's stats ARE the run's stats. Bypassing
 		// the weighted merge keeps the Star topology bit-identical to
@@ -296,13 +600,16 @@ func (r *shardRunner) finish() Stats {
 		out.ISLUtilization = units.Clamp(islW/float64(totalLinks), 0, 1)
 	}
 	if len(r.allLat) > 0 {
-		sort.Float64s(r.allLat)
+		// The merged samples are concatenated in cell order — a pure
+		// function of the config — so the mean sum is deterministic, and
+		// the p95 is the same order statistic a full sort would index.
 		var sum float64
 		for _, l := range r.allLat {
 			sum += l
 		}
 		out.MeanLatency = time.Duration(sum / float64(len(r.allLat)) * float64(time.Second))
-		out.P95Latency = time.Duration(r.allLat[int(float64(len(r.allLat))*0.95)] * float64(time.Second))
+		p95 := selectKth(r.allLat, int(float64(len(r.allLat))*0.95))
+		out.P95Latency = time.Duration(p95 * float64(time.Second))
 	}
 	if r.c.Placement != nil {
 		for t := range r.tierLat {
@@ -323,6 +630,7 @@ func (r *shardRunner) finish() Stats {
 		}
 	}
 	out.KeptUp = out.Backlog <= 2*r.c.BatchSize*totalWorkers
+	out.Sync = r.syncStats
 	return out
 }
 
@@ -334,10 +642,97 @@ func (r *shardRunner) sealWindows() {
 	}
 }
 
-// sortMsgs orders cross-cell messages by arrival time with a stable
-// insertion sort: per-window message counts are small, and unlike
-// sort.SliceStable this keeps the exchange allocation-free.
-func sortMsgs(ms []shardMsg) {
+// selectKth returns the k-th smallest element (0-indexed) of a,
+// partially partitioning a in place — the merged-latency p95 without
+// the O(n log n) full sort. Median-of-three pivoting with a Hoare
+// partition; the selected order statistic is identical to sorting and
+// indexing, so the result is deterministic regardless of the
+// partition path.
+func selectKth(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		p := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return a[k]
+		}
+	}
+	return a[k]
+}
+
+// sortMsgs orders cross-cell messages by arrival time, stable. Small
+// outboxes use an insertion sort; larger ones (cells with no incoming
+// cross-cell edges can emit a whole run's messages in one round) run a
+// bottom-up merge sort through the caller's scratch buffer, keeping
+// the exchange allocation-free in steady state.
+func sortMsgs(ms []shardMsg, scratch *[]shardMsg) {
+	const run = 32
+	n := len(ms)
+	if n <= run {
+		insertMsgs(ms)
+		return
+	}
+	for lo := 0; lo < n; lo += run {
+		insertMsgs(ms[lo:min(lo+run, n)])
+	}
+	buf := *scratch
+	if cap(buf) < n {
+		buf = make([]shardMsg, n)
+		*scratch = buf
+	} else {
+		buf = buf[:n]
+	}
+	src, dst := ms, buf
+	for w := run; w < n; w *= 2 {
+		for lo := 0; lo < n; lo += 2 * w {
+			mid, hi := min(lo+w, n), min(lo+2*w, n)
+			i, j := lo, mid
+			for k := lo; k < hi; k++ {
+				if j >= hi || (i < mid && src[i].at <= src[j].at) {
+					dst[k] = src[i]
+					i++
+				} else {
+					dst[k] = src[j]
+					j++
+				}
+			}
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &ms[0] {
+		copy(ms, src)
+	}
+}
+
+// insertMsgs is the stable insertion sort of a short message run.
+func insertMsgs(ms []shardMsg) {
 	for i := 1; i < len(ms); i++ {
 		m := ms[i]
 		j := i - 1

@@ -129,6 +129,7 @@ type simulator struct {
 	ownRand *rand.Rand
 
 	q   eventHeap
+	fq  frameHeap // per-satellite capture timers (see frameHeap)
 	seq int
 
 	// Compiled topology. The legacy configuration compiles to one
@@ -164,7 +165,15 @@ type simulator struct {
 
 	tr       *trace.Recorder
 	topoMode bool
+	// mergeLat marks a multi-cell run: the shard runner recomputes the
+	// latency distribution over the merged samples, so finish() skips
+	// the per-cell sort (the Mean/P95 of one cell are never published).
+	mergeLat bool
 	frameID  int64
+
+	// msgScratch is the merge buffer of sortMsgs for this cell's
+	// outbox, retained across rounds so sorting stays allocation-free.
+	msgScratch []shardMsg
 
 	// Placement engine (place == nil when the run has no placement;
 	// every hot-path hook then reduces to one nil check). All service
@@ -347,6 +356,7 @@ func (s *simulator) resetCommon(c Config, src *rand.Rand, workers int) {
 	s.totalWorkers = workers
 
 	s.q.reset()
+	s.fq.reset()
 	s.seq = 0
 	s.outbox = s.outbox[:0]
 	s.arrivals = s.arrivals[:0]
@@ -388,6 +398,8 @@ func (s *simulator) resetCommon(c Config, src *rand.Rand, workers int) {
 	s.downLinks = 0
 	s.placeBase = 0
 
+	s.mergeLat = false
+
 	s.rec = nil
 	for i := range s.evCount {
 		s.evCount[i] = 0
@@ -421,7 +433,7 @@ func (s *simulator) seedEvents(sched faults.Schedule) {
 		g := &s.sources[gi]
 		for i := 0; i < g.sats; i++ {
 			s.satEdge[sat] = g.edge
-			s.push(event{at: s.rng.Float64() * s.framePeriod, kind: evFrameReady, who: sat})
+			s.pushFrame(s.rng.Float64()*s.framePeriod, sat)
 			sat++
 		}
 	}
@@ -490,6 +502,7 @@ func (s *simulator) reset(c Config, sched faults.Schedule, deg *degrade.Schedule
 
 	s.q.grow(c.Constellation.Satellites + 4*c.Workers +
 		len(sched.Deaths) + len(sched.Hangs) + len(sched.Outages) + s.degPhases() + 64)
+	s.fq.grow(c.Constellation.Satellites)
 	s.sizeLatencies(c.Constellation.Satellites)
 
 	if c.Obs != nil {
@@ -526,12 +539,42 @@ func (s *simulator) push(e event) {
 	s.q.push(e)
 }
 
-// nextAt returns the next event time, or +Inf when the heap is empty.
+// pushFrame schedules a satellite capture, drawing the next global
+// sequence number so timers and events share one strict total order.
+func (s *simulator) pushFrame(at float64, who int) {
+	s.seq++
+	s.fq.push(frameTimer{at: at, seq: s.seq, who: who})
+}
+
+// nextAt returns the next event time over both heaps, or +Inf when the
+// simulation has drained.
 func (s *simulator) nextAt() float64 {
-	if s.q.len() == 0 {
-		return math.Inf(1)
+	at := math.Inf(1)
+	if len(s.q.a) > 0 {
+		at = s.q.a[0].at
 	}
-	return s.q.a[0].at
+	if len(s.fq.a) > 0 && s.fq.a[0].at < at {
+		at = s.fq.a[0].at
+	}
+	return at
+}
+
+// frameFirst reports whether the next event in (at, seq) order is the
+// frame-timer top rather than the event-heap top. Sequence numbers are
+// unique across both heaps, so the order is strict and the two-heap
+// split pops the exact event sequence a single heap would.
+func (s *simulator) frameFirst() bool {
+	if len(s.fq.a) == 0 {
+		return false
+	}
+	if len(s.q.a) == 0 {
+		return true
+	}
+	f, e := &s.fq.a[0], &s.q.a[0]
+	if f.at != e.at {
+		return f.at < e.at
+	}
+	return f.seq < e.seq
 }
 
 // inject lands one cross-cell message: the frame is parked in an
@@ -918,10 +961,17 @@ func (s *simulator) applyPhase(pi int) {
 	}
 }
 
-// step pops and applies one event. It returns false once the queue is
-// empty or the next event lies past the horizon — the run is over.
+// step pops and applies one event. It returns false once both heaps
+// are empty or the next event lies past the horizon — the run is over.
 func (s *simulator) step() bool {
-	if s.q.len() == 0 || s.q.a[0].at > s.horizon {
+	if s.frameFirst() {
+		if s.fq.a[0].at > s.horizon {
+			return false
+		}
+		s.applyFrame()
+		return true
+	}
+	if len(s.q.a) == 0 || s.q.a[0].at > s.horizon {
 		return false
 	}
 	s.apply(s.q.pop())
@@ -934,7 +984,22 @@ func (s *simulator) step() bool {
 // cross-cell message arriving exactly at the next window start is
 // injected before any local event at that instant is applied.
 func (s *simulator) runUntil(limit float64, final bool) {
-	for s.q.len() > 0 {
+	for {
+		if s.frameFirst() {
+			at := s.fq.a[0].at
+			if final {
+				if at > limit {
+					return
+				}
+			} else if at >= limit {
+				return
+			}
+			s.applyFrame()
+			continue
+		}
+		if len(s.q.a) == 0 {
+			return
+		}
 		at := s.q.a[0].at
 		if final {
 			if at > limit {
@@ -947,6 +1012,44 @@ func (s *simulator) runUntil(limit float64, final bool) {
 	}
 }
 
+// applyFrame advances the simulation by one satellite capture — the
+// evFrameReady arm of apply, fused with the timer reschedule: the heap
+// minimum is overwritten in place instead of popped and re-pushed. The
+// successor draws its sequence number after any transfer events the
+// capture pushed, exactly like the old pop-then-push order, so event
+// numbering is unchanged.
+func (s *simulator) applyFrame() {
+	t := s.fq.a[0]
+	if s.rec != nil {
+		s.rec.catchUp(t.at)
+	}
+	s.now = t.at
+	s.accrue(t.at)
+	s.evCount[evFrameReady]++
+	s.stats.FramesGenerated++
+	s.win.Count(window.CntGenerated, 1)
+	s.frameID++
+	// The value draw stays immediately before the jitter draw and the
+	// placement decision draws nothing, so the RNG stream is identical
+	// with and without placement.
+	f := frame{id: s.frameID, born: s.now, value: s.rng.Float64()}
+	if s.tr != nil {
+		s.tr.Record(trace.Event{T: s.now, Kind: trace.FrameCaptured,
+			Frame: f.id, Node: t.who})
+	}
+	if s.place == nil {
+		ei := s.satEdge[t.who]
+		s.links[ei].queue.pushBack(f)
+		s.attemptISL(ei)
+	} else {
+		s.route(f, t.who)
+	}
+	// Next frame from this satellite, with 5% timing jitter.
+	jitter := 1 + 0.1*(s.rng.Float64()-0.5)
+	s.seq++
+	s.fq.replaceTop(frameTimer{at: s.now + s.framePeriod*jitter, seq: s.seq, who: t.who})
+}
+
 // apply advances the simulation by one event.
 func (s *simulator) apply(e event) {
 	if s.rec != nil {
@@ -956,29 +1059,6 @@ func (s *simulator) apply(e event) {
 	s.accrue(e.at)
 	s.evCount[e.kind]++
 	switch e.kind {
-	case evFrameReady:
-		s.stats.FramesGenerated++
-		s.win.Count(window.CntGenerated, 1)
-		s.frameID++
-		// The value draw stays immediately before the jitter draw and the
-		// placement decision draws nothing, so the RNG stream is identical
-		// with and without placement.
-		f := frame{id: s.frameID, born: s.now, value: s.rng.Float64()}
-		if s.tr != nil {
-			s.tr.Record(trace.Event{T: s.now, Kind: trace.FrameCaptured,
-				Frame: f.id, Node: e.who})
-		}
-		if s.place == nil {
-			ei := s.satEdge[e.who]
-			s.links[ei].queue.pushBack(f)
-			s.attemptISL(ei)
-		} else {
-			s.route(f, e.who)
-		}
-		// Next frame from this satellite, with 5% timing jitter.
-		jitter := 1 + 0.1*(s.rng.Float64()-0.5)
-		s.push(event{at: s.now + s.framePeriod*jitter, kind: evFrameReady, who: e.who})
-
 	case evISLDone:
 		ei := e.who
 		l := &s.links[ei]
@@ -1289,7 +1369,7 @@ func (s *simulator) finish() Stats {
 
 	stats := s.stats
 	stats.Backlog = stats.FramesGenerated - stats.FramesProcessed - stats.FramesShed - stats.FramesLost
-	if len(s.latencies) > 0 {
+	if len(s.latencies) > 0 && !s.mergeLat {
 		sort.Float64s(s.latencies)
 		var sum float64
 		for _, l := range s.latencies {

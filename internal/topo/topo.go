@@ -168,6 +168,58 @@ func (g *Graph) MinCrossDelay() (time.Duration, bool) {
 	return min, true
 }
 
+// CellEdge is one directed edge of the cell graph: the minimum
+// propagation delay over the cross-cell ISL edges joining one cell to
+// another. The sharded simulator's per-cell conservative lookahead is
+// computed over these tables.
+type CellEdge struct {
+	Cell  int
+	Delay time.Duration
+}
+
+// CellGraph condenses the cross-cell ISL edges into per-cell min-delay
+// adjacency tables: out[c] lists the cells c sends into and in[c] the
+// cells that send into c, each with the minimum delay over the
+// parallel physical edges and sorted by ascending cell index. Both
+// tables are pure functions of the graph, so anything derived from
+// them inherits the sharded runner's determinism contract.
+func (g *Graph) CellGraph() (out, in [][]CellEdge) {
+	cells := g.Cells()
+	out = make([][]CellEdge, cells)
+	in = make([][]CellEdge, cells)
+	for _, e := range g.Edges {
+		if e.Kind != ISL {
+			continue
+		}
+		from, to := g.Nodes[e.From].Cell, g.Nodes[e.To].Cell
+		if from == to {
+			continue
+		}
+		out[from] = insertCellEdge(out[from], to, e.Delay)
+		in[to] = insertCellEdge(in[to], from, e.Delay)
+	}
+	return out, in
+}
+
+// insertCellEdge merges one physical edge into a cell-sorted adjacency
+// row, keeping the minimum delay per destination cell.
+func insertCellEdge(row []CellEdge, cell int, delay time.Duration) []CellEdge {
+	i := 0
+	for i < len(row) && row[i].Cell < cell {
+		i++
+	}
+	if i < len(row) && row[i].Cell == cell {
+		if delay < row[i].Delay {
+			row[i].Delay = delay
+		}
+		return row
+	}
+	row = append(row, CellEdge{})
+	copy(row[i+1:], row[i:])
+	row[i] = CellEdge{Cell: cell, Delay: delay}
+	return row
+}
+
 // Routes computes static nearest-SµDC routing: out[u] is the ISL edge
 // node u forwards frames on (toward the SµDC minimizing propagation
 // delay, then hop count, then node index — a deterministic tie-break),
@@ -423,6 +475,75 @@ func Clusters(clusters, satsPerCluster, workersPerHub int, fsoRate units.DataRat
 				Name: fmt.Sprintf("c%02d/sat%02d", c, i), Kind: Source, Cell: c, Sats: 1,
 			})
 			g.Edges = append(g.Edges, Edge{From: sat, To: hub, Kind: ISL, Rate: fsoRate, Delay: fsoDelay})
+		}
+	}
+	return g, nil
+}
+
+// ClustersRing joins dense formation-flying clusters into an
+// inter-cluster relay ring, the shape where per-cell lookahead
+// diverges most from a single global window: intra-cluster FSO hops
+// are short (fsoDelay) while the inter-cluster ring hops are long
+// (ringDelay). Every sudcEvery-th cluster's hub is an SµDC of
+// workersPerHub workers; the other clusters get a relay hub (a
+// single-satellite Source) whose cluster forwards around the ring to
+// the nearest compute cluster. Ring edges are emitted only in the
+// directions that can carry traffic — out of relay hubs — so compute
+// clusters have no outgoing cross-cell edges and their cells
+// synchronize only against their upstream relays.
+func ClustersRing(clusters, satsPerCluster, workersPerHub, sudcEvery int, fsoRate units.DataRate, fsoDelay, ringDelay time.Duration) (*Graph, error) {
+	switch {
+	case clusters < 1:
+		return nil, errors.New("topo: need ≥ 1 cluster")
+	case satsPerCluster < 1:
+		return nil, errors.New("topo: need ≥ 1 satellite per cluster")
+	case workersPerHub < 1:
+		return nil, errors.New("topo: need ≥ 1 worker per hub")
+	case sudcEvery < 1 || sudcEvery > clusters:
+		return nil, fmt.Errorf("topo: ring sudcEvery %d out of [1, %d]", sudcEvery, clusters)
+	case fsoRate < 0:
+		return nil, errors.New("topo: negative FSO rate")
+	case fsoDelay < 0:
+		return nil, errors.New("topo: negative FSO delay")
+	case sudcEvery > 1 && ringDelay <= 0:
+		return nil, errors.New("topo: relay rings need a positive ring delay")
+	}
+	g := &Graph{}
+	hub := make([]int, clusters)
+	relay := make([]bool, clusters)
+	for c := 0; c < clusters; c++ {
+		hub[c] = len(g.Nodes)
+		relay[c] = c%sudcEvery != 0
+		if relay[c] {
+			g.Nodes = append(g.Nodes, Node{
+				Name: fmt.Sprintf("c%02d/hub", c), Kind: Source, Cell: c, Sats: 1,
+			})
+		} else {
+			g.Nodes = append(g.Nodes, Node{
+				Name: fmt.Sprintf("c%02d/hub", c), Kind: SuDC, Cell: c, Workers: workersPerHub,
+			})
+		}
+		for i := 0; i < satsPerCluster; i++ {
+			sat := len(g.Nodes)
+			g.Nodes = append(g.Nodes, Node{
+				Name: fmt.Sprintf("c%02d/sat%02d", c, i), Kind: Source, Cell: c, Sats: 1,
+			})
+			g.Edges = append(g.Edges, Edge{From: sat, To: hub[c], Kind: ISL, Rate: fsoRate, Delay: fsoDelay})
+		}
+	}
+	for c := 0; c < clusters; c++ {
+		next := (c + 1) % clusters
+		if next == c {
+			break // single cluster: no ring
+		}
+		if relay[c] {
+			g.Edges = append(g.Edges, Edge{From: hub[c], To: hub[next], Kind: ISL, Delay: ringDelay})
+		}
+		if relay[next] {
+			g.Edges = append(g.Edges, Edge{From: hub[next], To: hub[c], Kind: ISL, Delay: ringDelay})
+		}
+		if clusters == 2 {
+			break // the single pair has been emitted in both directions
 		}
 	}
 	return g, nil

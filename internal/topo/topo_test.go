@@ -231,3 +231,167 @@ func TestAddDownlink(t *testing.T) {
 		t.Errorf("ISL into ground: err = %v", err)
 	}
 }
+
+func TestCellGraphWalker(t *testing.T) {
+	g, err := Walker(4, 8, 5, 2, 250*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, in := g.CellGraph()
+	if len(out) != 4 || len(in) != 4 {
+		t.Fatalf("cell tables sized %d/%d, want 4/4", len(out), len(in))
+	}
+	for c := 0; c < 4; c++ {
+		for _, e := range out[c] {
+			if e.Cell == c {
+				t.Errorf("out[%d] contains a same-cell edge", c)
+			}
+			if e.Delay != 250*time.Millisecond {
+				t.Errorf("out[%d]→%d delay %v, want 250ms", c, e.Cell, e.Delay)
+			}
+			// Every out edge must appear as the destination's in edge.
+			found := false
+			for _, r := range in[e.Cell] {
+				if r.Cell == c && r.Delay == e.Delay {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("out[%d]→%d has no matching in edge", c, e.Cell)
+			}
+		}
+		for i := 1; i < len(out[c]); i++ {
+			if out[c][i-1].Cell >= out[c][i].Cell {
+				t.Errorf("out[%d] not in ascending cell order: %v", c, out[c])
+			}
+		}
+	}
+}
+
+func TestCellGraphKeepsMinDelay(t *testing.T) {
+	// Two parallel physical edges between the same cell pair must
+	// condense to one adjacency entry carrying the smaller delay.
+	g := &Graph{
+		Nodes: []Node{
+			{Name: "a/sats", Kind: Source, Cell: 0, Sats: 4},
+			{Name: "a/dc", Kind: SuDC, Cell: 0, Workers: 2},
+			{Name: "b/dc", Kind: SuDC, Cell: 1, Workers: 2},
+		},
+		Edges: []Edge{
+			{From: 0, To: 1, Kind: ISL},
+			{From: 1, To: 2, Kind: ISL, Delay: 300 * time.Millisecond},
+			{From: 1, To: 2, Kind: ISL, Delay: 100 * time.Millisecond},
+		},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out, in := g.CellGraph()
+	if len(out[0]) != 1 || out[0][0] != (CellEdge{Cell: 1, Delay: 100 * time.Millisecond}) {
+		t.Errorf("out[0] = %v, want one edge to cell 1 at 100ms", out[0])
+	}
+	if len(in[1]) != 1 || in[1][0] != (CellEdge{Cell: 0, Delay: 100 * time.Millisecond}) {
+		t.Errorf("in[1] = %v, want one edge from cell 0 at 100ms", in[1])
+	}
+}
+
+func TestClustersRingShape(t *testing.T) {
+	g, err := ClustersRing(6, 8, 4, 2, 10*units.Gbps, 2*time.Millisecond, 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Cells() != 6 {
+		t.Fatalf("cells = %d, want 6", g.Cells())
+	}
+	// Every second cluster hosts an SµDC; relay clusters contribute
+	// their hub as an extra source satellite.
+	if got, want := g.Workers(), 3*4; got != want {
+		t.Errorf("workers = %d, want %d", got, want)
+	}
+	if got, want := g.Sats(), 6*8+3; got != want {
+		t.Errorf("sats = %d, want %d", got, want)
+	}
+	// The cell graph must be heterogeneous: intra-cluster FSO hops do
+	// not appear (same cell), ring edges carry the long delay, and all
+	// cross-cell delay flows through relay hubs.
+	out, _ := g.CellGraph()
+	crossEdges := 0
+	for c := range out {
+		for _, e := range out[c] {
+			crossEdges++
+			if e.Delay != 400*time.Millisecond {
+				t.Errorf("ring edge %d→%d delay %v, want 400ms", c, e.Cell, e.Delay)
+			}
+			if c%2 != 1 {
+				t.Errorf("SµDC cluster %d sends into the ring", c)
+			}
+		}
+	}
+	if crossEdges != 6 {
+		t.Errorf("cross-cell edges = %d, want 6 (each relay to both neighbors)", crossEdges)
+	}
+}
+
+func TestClustersRingSingleAndPair(t *testing.T) {
+	// One cluster: no ring at all.
+	g, err := ClustersRing(1, 4, 2, 1, 10*units.Gbps, time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := g.CellGraph()
+	if len(out[0]) != 0 {
+		t.Errorf("single cluster has cross edges: %v", out[0])
+	}
+	// Two clusters: exactly one relay→SµDC pair, no duplicate edges.
+	g, err = ClustersRing(2, 4, 2, 2, 10*units.Gbps, time.Millisecond, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ring := 0
+	for _, e := range g.Edges {
+		if e.Kind == ISL && g.Nodes[e.From].Cell != g.Nodes[e.To].Cell {
+			ring++
+		}
+	}
+	if ring != 1 {
+		t.Errorf("two-cluster ring has %d cross edges, want 1", ring)
+	}
+}
+
+func TestClustersRingValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		err  string
+		call func() (*Graph, error)
+	}{
+		{"no clusters", "≥ 1 cluster", func() (*Graph, error) {
+			return ClustersRing(0, 4, 2, 1, units.Gbps, 0, 0)
+		}},
+		{"no sats", "per cluster", func() (*Graph, error) {
+			return ClustersRing(2, 0, 2, 1, units.Gbps, 0, time.Second)
+		}},
+		{"no workers", "worker per hub", func() (*Graph, error) {
+			return ClustersRing(2, 4, 0, 1, units.Gbps, 0, time.Second)
+		}},
+		{"sudcEvery range", "out of", func() (*Graph, error) {
+			return ClustersRing(2, 4, 2, 3, units.Gbps, 0, time.Second)
+		}},
+		{"relay needs ring delay", "positive ring delay", func() (*Graph, error) {
+			return ClustersRing(4, 4, 2, 2, units.Gbps, 0, 0)
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.call(); err == nil || !strings.Contains(err.Error(), tc.err) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.err)
+		}
+	}
+}
